@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures; the
+series/rows it produces are printed and persisted under
+``benchmarks/results/`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    note: str = "",
+) -> str:
+    """Render an aligned text table, print it, and persist it."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in materialized))
+        if materialized
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in materialized)
+    if note:
+        lines.append("")
+        lines.append(f"note: {note}")
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    """Format a float compactly for table cells."""
+    return f"{value:.{digits}f}"
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeated rounds
+    would re-measure identical work — so every benchmark uses a single
+    round and reports the scenario's wall time.
+    """
+    return benchmark.pedantic(
+        func, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

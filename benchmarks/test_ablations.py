@@ -1,0 +1,135 @@
+"""Ablations of BASS's design choices (not paper figures — design
+validation called for by DESIGN.md §6 and EXPERIMENTS.md note 4)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_cooldown,
+    ablate_headroom_probing,
+    ablate_hybrid_heuristic,
+    ablate_online_profiling,
+    ablate_stability_guards,
+)
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_headroom_probing(benchmark):
+    """Headroom probing (§4.2) bounds monitoring overhead; flooding
+    every interval with max-capacity probes does not."""
+    result = run_once(benchmark, ablate_headroom_probing, duration_s=600.0)
+    save_table(
+        "ablation_headroom_probing",
+        ["strategy", "monitoring_overhead_fraction"],
+        [
+            ["headroom probes", fmt(result.headroom_overhead_fraction, 4)],
+            ["flood every cycle", fmt(result.flooding_overhead_fraction, 4)],
+        ],
+    )
+    assert result.headroom_overhead_fraction < 0.05
+    assert (
+        result.flooding_overhead_fraction
+        > 3 * result.headroom_overhead_fraction
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cooldown(benchmark):
+    """The cooldown (§4.3) filters migrations for transient dips whose
+    disruption would never amortize."""
+    results = run_once(benchmark, ablate_cooldown, cooldowns=(0.0, 45.0))
+    save_table(
+        "ablation_cooldown",
+        ["cooldown_s", "migrations for a 40 s transient dip"],
+        [[r.cooldown_s, r.migrations] for r in results],
+    )
+    by_cooldown = {r.cooldown_s: r.migrations for r in results}
+    assert by_cooldown[0.0] >= 1  # reacts to the transient
+    assert by_cooldown[45.0] == 0  # waits it out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_stability_guards(benchmark):
+    """The improvement gate + minimum residency suppress migration
+    ping-pong under congestion no placement can fix."""
+    result = run_once(benchmark, ablate_stability_guards, duration_s=420.0)
+    save_table(
+        "ablation_stability_guards",
+        ["configuration", "migrations in 420 s of hopeless congestion"],
+        [
+            ["guards enabled", result.guarded_migrations],
+            ["guards disabled", result.unguarded_migrations],
+        ],
+    )
+    assert result.unguarded_migrations >= 1.5 * max(
+        result.guarded_migrations, 1
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_hybrid_heuristic(benchmark):
+    """§8's hybrid heuristic matches the better pure heuristic on each
+    application shape."""
+    cells = run_once(benchmark, ablate_hybrid_heuristic)
+    save_table(
+        "ablation_hybrid_heuristic",
+        ["shape", "heuristic", "colocated_bandwidth_fraction"],
+        [
+            [c.shape, c.heuristic, fmt(c.colocated_fraction, 3)]
+            for c in cells
+        ],
+    )
+    for shape in ("social", "chain"):
+        by_heuristic = {
+            c.heuristic: c.colocated_fraction
+            for c in cells
+            if c.shape == shape
+        }
+        best_pure = max(by_heuristic["bfs"], by_heuristic["longest_path"])
+        assert by_heuristic["hybrid"] >= best_pure - 1e-9
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_online_profiling(benchmark):
+    """§8's online profiler recovers mis-annotated bandwidth
+    requirements from observed traffic."""
+    result = run_once(benchmark, ablate_online_profiling, duration_s=200.0)
+    save_table(
+        "ablation_online_profiling",
+        ["stage", "mean relative annotation error", "edges updated"],
+        [
+            ["mis-annotated deploy", fmt(result.initial_error, 3), "-"],
+            [
+                "after online profiling",
+                fmt(result.profiled_error, 3),
+                result.edges_updated,
+            ],
+        ],
+    )
+    assert result.initial_error > 0.5  # the corruption was real
+    assert result.profiled_error < 0.3  # the profiler recovered it
+    assert result.profiled_error < result.initial_error / 2
+    assert result.edges_updated == 30
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_routing_strategy(benchmark):
+    """Widest-path routing lifts the bottleneck ceiling BASS works
+    under on the CityLab mesh (BASS is routing-agnostic, §1 — this
+    quantifies what the substrate's routing choice is worth)."""
+    from repro.experiments.ablations import ablate_routing_strategy
+
+    cells = run_once(benchmark, ablate_routing_strategy)
+    save_table(
+        "ablation_routing_strategy",
+        ["pair", "min_hop_mbps", "widest_mbps"],
+        [
+            [f"{c.src}-{c.dst}", fmt(c.min_hop_mbps, 1), fmt(c.widest_mbps, 1)]
+            for c in cells
+        ],
+    )
+    # Widest-path never does worse, and strictly helps some pair (the
+    # 7.6 Mbps node2-node3 shortcut has a 15 Mbps detour).
+    assert all(c.widest_mbps >= c.min_hop_mbps - 1e-9 for c in cells)
+    assert any(c.widest_mbps > 1.5 * c.min_hop_mbps for c in cells)

@@ -1,0 +1,42 @@
+"""Fig 4: Pion per-client bitrate and packet loss vs participant count
+over a 30 Mbps bottleneck, under the bandwidth-oblivious k3s placement.
+
+Paper: bitrate worsens and loss rises significantly past ~10
+participants on the bottleneck link.
+"""
+
+import pytest
+
+from repro.experiments.motivation import fig4_pion_bottleneck
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_pion_bottleneck(benchmark):
+    points = run_once(
+        benchmark,
+        fig4_pion_bottleneck,
+        participant_counts=(4, 6, 8, 10, 11, 12, 13, 14),
+        bottleneck_mbps=30.0,
+        stream_mbps=3.0,
+    )
+    save_table(
+        "fig04_pion_bottleneck",
+        ["participants", "per_client_mbps", "loss_fraction"],
+        [
+            [p.participants, fmt(p.per_client_mbps), fmt(p.loss_fraction, 3)]
+            for p in points
+        ],
+        note="knee expected near 30 Mbps / 3 Mbps = 10 receivers",
+    )
+    by_count = {p.participants: p for p in points}
+    # Below the knee: full bitrate, no loss.
+    assert by_count[4].per_client_mbps == pytest.approx(3.0, rel=0.05)
+    assert by_count[4].loss_fraction < 0.01
+    assert by_count[10].per_client_mbps == pytest.approx(3.0, rel=0.1)
+    # Past the knee: bitrate degrades monotonically, loss rises.
+    assert by_count[12].per_client_mbps < 0.95 * by_count[10].per_client_mbps
+    assert by_count[14].per_client_mbps < by_count[12].per_client_mbps
+    assert by_count[14].loss_fraction > 0.1
+    assert by_count[14].loss_fraction > by_count[12].loss_fraction

@@ -1,0 +1,39 @@
+"""Fig 5: social-network average latency through a 25 Mbps throttle
+window under the default (bandwidth-oblivious) scheduler.
+
+Paper: "Latency increases by an order of magnitude during the bandwidth
+restricted period", then recovers when the restriction lifts.
+"""
+
+import pytest
+
+from repro.experiments.motivation import fig5_socialnet_throttle
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_socialnet_throttle(benchmark):
+    series = run_once(
+        benchmark,
+        fig5_socialnet_throttle,
+        rps=400.0,
+        throttle_mbps=25.0,
+        throttle_start_s=120.0,
+        throttle_duration_s=120.0,
+        total_s=360.0,
+    )
+    before, during, after = series.phase_means()
+    save_table(
+        "fig05_socialnet_throttle",
+        ["phase", "mean_latency_s"],
+        [
+            ["before throttle", fmt(before, 3)],
+            ["during throttle", fmt(during, 3)],
+            ["after throttle", fmt(after, 3)],
+        ],
+        note="400 RPS, k3s placement, no migrations (the motivation case)",
+    )
+    # Order-of-magnitude inflation during the window, recovery after.
+    assert during > 10 * before
+    assert after < 2 * before

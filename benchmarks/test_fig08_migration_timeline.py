@@ -1,0 +1,74 @@
+"""Fig 8: the worked migration timeline.
+
+An 8 Mbps component pair on a 25 Mbps link; the link collapses, a
+headroom probe notices, a full probe refreshes the cached capacity, the
+consumer migrates node4 → node1; later node1's path degrades (and the
+original link recovers), driving a migration back.
+"""
+
+import pytest
+
+from repro.experiments.migration import fig8_migration_timeline
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_migration_timeline(benchmark):
+    timeline = run_once(
+        benchmark,
+        fig8_migration_timeline,
+        drop_time_s=540.0,
+        second_drop_time_s=1119.0,
+        total_s=1500.0,
+    )
+    save_table(
+        "fig08_migration_timeline",
+        ["event", "time_s", "detail"],
+        [
+            ["capacity drop node3-node4", "540", "25 -> 3.5 Mbps"],
+            *[
+                ["full probe", fmt(t, 0), "headroom violation escalated"]
+                for t in timeline.full_probe_times
+            ],
+            *[
+                [
+                    "migration",
+                    fmt(m.time, 0),
+                    f"{m.pod_name}: {m.from_node} -> {m.to_node}",
+                ]
+                for m in timeline.migrations
+            ],
+            ["capacity swap", "1119", "node3-node4 recovers, node1-node3 drops"],
+        ],
+        note="paper timeline: drop t=540, full probe ~634, migration "
+        "~870, reverse events after t=1119",
+    )
+    assert len(timeline.migrations) == 2
+    first, second = timeline.migrations
+
+    # First migration: consumer escapes node4 after the first drop, to
+    # the unaffected node1, and only after detection (not before).
+    assert first.pod_name == "consumer"
+    assert (first.from_node, first.to_node) == ("node4", "node1")
+    assert 540.0 < first.time < 900.0
+
+    # A full probe fires between each drop and its migration — the
+    # headroom-violation escalation of §4.2.
+    assert any(540.0 <= t <= first.time for t in timeline.full_probe_times)
+
+    # Second migration: back to node4 after the capacity swap.
+    assert (second.from_node, second.to_node) == ("node1", "node4")
+    assert second.time > 1119.0
+    assert any(1119.0 <= t <= second.time for t in timeline.full_probe_times)
+
+    # Goodput collapses after the drop and recovers after migration.
+    def goodput_near(t):
+        index = min(
+            range(len(timeline.times)),
+            key=lambda i: abs(timeline.times[i] - t),
+        )
+        return timeline.goodput[index]
+
+    assert goodput_near(first.time - 10.0) < 0.5
+    assert goodput_near(first.time + 60.0) > 0.9

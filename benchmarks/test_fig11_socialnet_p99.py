@@ -1,0 +1,64 @@
+"""Fig 11: social-network p99 latency vs request rate, with and without
+one node throttled to 25 Mbps.
+
+Paper: with no restriction the longest-path and k3s tails are
+comparable; with the restriction, k3s is about two orders of magnitude
+worse at 200–300 RPS.
+"""
+
+import pytest
+
+from repro.experiments.static_placement import fig11_socialnet_p99
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_socialnet_p99(benchmark):
+    cells = run_once(
+        benchmark,
+        fig11_socialnet_p99,
+        rates=(100.0, 200.0, 300.0),
+        duration_s=120.0,
+    )
+    save_table(
+        "fig11_socialnet_p99",
+        ["scheduler", "rps", "restricted", "p99_s", "mean_s"],
+        [
+            [
+                c.scheduler,
+                int(c.rps),
+                c.restricted,
+                fmt(c.p99_latency_s),
+                fmt(c.mean_latency_s),
+            ]
+            for c in cells
+        ],
+    )
+
+    def cell(scheduler, rps, restricted):
+        return next(
+            c
+            for c in cells
+            if c.scheduler == scheduler
+            and c.rps == rps
+            and c.restricted == restricted
+        )
+
+    # Unrestricted: tails comparable (within a small factor).
+    for rps in (100.0, 200.0, 300.0):
+        lp = cell("bass-longest-path", rps, False).p99_latency_s
+        k3s = cell("k3s", rps, False).p99_latency_s
+        assert k3s < 10 * lp
+
+    # Restricted at high rates: k3s collapses, longest-path does not.
+    for rps in (200.0, 300.0):
+        lp = cell("bass-longest-path", rps, True).p99_latency_s
+        k3s = cell("k3s", rps, True).p99_latency_s
+        assert k3s > 10 * lp
+
+    # The longest-path tail is essentially unaffected by the throttle.
+    for rps in (100.0, 200.0, 300.0):
+        unrestricted = cell("bass-longest-path", rps, False).p99_latency_s
+        restricted = cell("bass-longest-path", rps, True).p99_latency_s
+        assert restricted < 3 * unrestricted

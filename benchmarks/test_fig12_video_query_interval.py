@@ -1,0 +1,67 @@
+"""Fig 12: video-conference bitrate under different bandwidth-query
+intervals during a 3-minute throttle.
+
+Paper: with 30 s evaluation the violation is soon discovered and the
+SFU migrates to the unaffected node (a ~30 s stream disruption); with
+no migration the clients sit at the degraded bitrate for the whole
+restriction.
+"""
+
+import pytest
+
+from repro.experiments.migration import fig12_video_query_interval
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_video_query_interval(benchmark):
+    restrict_at, restrict_for = 10.0, 180.0
+    series = run_once(
+        benchmark,
+        fig12_video_query_interval,
+        intervals=(30.0, 60.0, 90.0, None),
+        restrict_at_s=restrict_at,
+        restrict_for_s=restrict_for,
+        total_s=300.0,
+    )
+    window_end = restrict_at + restrict_for
+    save_table(
+        "fig12_video_query_interval",
+        ["interval_s", "migrations", "first_migration_s",
+         "mean_mbps_during_restriction", "mean_mbps_last_minute"],
+        [
+            [
+                s.interval_s if s.interval_s is not None else "none",
+                len(s.migrations),
+                fmt(s.migrations[0].time, 0) if s.migrations else "-",
+                fmt(s.mean_during(restrict_at, window_end)),
+                fmt(s.mean_during(window_end, 300.0)),
+            ]
+            for s in series
+        ],
+    )
+    by_interval = {s.interval_s: s for s in series}
+    no_mig = by_interval[None]
+    fast = by_interval[30.0]
+
+    # Every migrating config discovers the violation and moves the SFU;
+    # the no-migration baseline never does.
+    for interval in (30.0, 60.0, 90.0):
+        assert by_interval[interval].migrations
+    assert not no_mig.migrations
+
+    # The 30 s interval reacts first.
+    assert fast.migrations[0].time <= by_interval[60.0].migrations[0].time
+    assert fast.migrations[0].time <= by_interval[90.0].migrations[0].time
+
+    # During the restriction, migrating recovers bitrate; not migrating
+    # leaves clients degraded the whole window.
+    assert fast.mean_during(restrict_at, window_end) > 1.5 * no_mig.mean_during(
+        restrict_at, window_end
+    )
+
+    # After the restriction lifts, everyone is back to full bitrate.
+    assert no_mig.mean_during(window_end + 10, 300.0) == pytest.approx(
+        3.0, rel=0.05
+    )

@@ -1,0 +1,52 @@
+"""Fig 14(a): the latency cost of restarting one component.
+
+Paper: mean end-to-end latency rises from 552 ms to 4.9 s while the
+restarted component is unavailable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.migration import fig14a_restart_cdf
+from repro.metrics.summary import cdf_points
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig14a")
+def test_fig14a_restart_cdf(benchmark):
+    result = run_once(
+        benchmark,
+        fig14a_restart_cdf,
+        rps=50.0,
+        total_s=240.0,
+        restart_at_s=120.0,
+        restart_seconds=8.0,
+    )
+    baseline_mean, restart_mean = result.means()
+    baseline_values, _ = cdf_points(result.baseline_latency_s)
+    restart_values, _ = cdf_points(result.restart_latency_s)
+    save_table(
+        "fig14a_restart_cdf",
+        ["series", "mean_s (paper)", "p50_s", "p95_s"],
+        [
+            [
+                "steady state",
+                f"{fmt(baseline_mean, 3)} (0.552)",
+                fmt(float(np.median(baseline_values)), 3),
+                fmt(float(np.percentile(baseline_values, 95)), 3),
+            ],
+            [
+                "during restart",
+                f"{fmt(restart_mean, 3)} (4.9)",
+                fmt(float(np.median(restart_values)), 3),
+                fmt(float(np.percentile(restart_values, 95)), 3),
+            ],
+        ],
+    )
+    # Shape: restart inflates the mean by roughly an order of magnitude
+    # (paper: 552 ms -> 4.9 s, a 8.9x factor).
+    assert restart_mean > 5 * baseline_mean
+    assert baseline_mean < 1.0
+    # The restart-window samples dominate the baseline CDF's right edge.
+    assert np.median(restart_values) > np.percentile(baseline_values, 95)

@@ -1,0 +1,55 @@
+"""Fig 14(b): end-to-end latency CDFs of the four scheduler
+configurations on the CityLab trace replay.
+
+Paper: the real gains come from right-timed migrations — longest-path
+with migration reaches p99 = 28 s versus 66 s for default k3s, with
+no-migration longest-path in between.
+"""
+
+import pytest
+
+from repro.experiments.migration import fig14b_scheduler_cdf
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig14b")
+def test_fig14b_scheduler_cdf(benchmark):
+    results = run_once(benchmark, fig14b_scheduler_cdf, duration_s=1200.0)
+    save_table(
+        "fig14b_scheduler_cdf",
+        ["configuration", "median_s", "p99_s (paper)", "migrations"],
+        [
+            [
+                r.label,
+                fmt(r.median()),
+                fmt(r.p99())
+                + {
+                    "longest-path+mig": " (28)",
+                    "k3s": " (66)",
+                }.get(r.label, ""),
+                r.migrations,
+            ]
+            for r in results
+        ],
+        note="absolute seconds differ (our k3s placement is chronically "
+        "saturated at this load); the ordering is the paper's claim",
+    )
+    by_label = {r.label: r for r in results}
+    lp_mig = by_label["longest-path+mig"]
+    bfs_mig = by_label["bfs+mig"]
+    lp_nomig = by_label["longest-path-nomig"]
+    k3s = by_label["k3s"]
+
+    # The headline ordering: migrations rescue the tail, k3s is worst.
+    assert lp_mig.p99() < lp_nomig.p99()
+    assert lp_nomig.p99() < k3s.p99()
+    assert bfs_mig.p99() < k3s.p99()
+
+    # "The real gains ... come from right-timed migrations": the gap
+    # between mig and nomig is substantial, and migrations occurred.
+    assert lp_mig.migrations >= 1
+    assert lp_nomig.p99() > 2 * lp_mig.p99()
+
+    # k3s vs best BASS: at least the paper's ~2.4x factor.
+    assert k3s.p99() > 2.4 * lp_mig.p99()

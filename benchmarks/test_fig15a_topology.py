@@ -1,0 +1,53 @@
+"""Fig 15(a): the 5-node CityLab-subset topology.
+
+This figure is the *input* to every emulated-mesh experiment rather
+than a measured result; the bench renders the topology table (nodes,
+cores, link means) and asserts its structural properties — the
+wireless links are bidirectional with similar bandwidth in both
+directions, resources are heterogeneous, and the mesh is connected.
+"""
+
+import pytest
+
+from repro.mesh.topology import CITYLAB_LINK_MEANS, citylab_subset
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig15a")
+def test_fig15a_topology(benchmark):
+    topology = run_once(benchmark, citylab_subset, with_traces=False)
+    save_table(
+        "fig15a_topology",
+        ["link", "mean_mbps", "", "node", "cores", "memory_mb"],
+        [
+            [
+                f"{a}-{b}",
+                fmt(mean, 1),
+                "",
+                node.name,
+                node.cpu_cores,
+                int(node.memory_mb),
+            ]
+            for ((a, b), mean), node in zip(
+                sorted(CITYLAB_LINK_MEANS.items()),
+                sorted(topology.nodes, key=lambda n: n.name),
+            )
+        ],
+        note="link means are plausible stand-ins for Fig 15a's "
+        "unreadable printed values (DESIGN.md); node3-node4 is the "
+        "25 Mbps link of Fig 8",
+    )
+    # Structure: 4 heterogeneous workers + control node, connected mesh.
+    assert set(topology.worker_names) == {"node1", "node2", "node3", "node4"}
+    assert not topology.node("node0").schedulable
+    assert topology.is_connected()
+    # Heterogeneous compute (§6.3: 12- and 8-core VMs, 8 GB RAM).
+    cores = {topology.node(n).cpu_cores for n in topology.worker_names}
+    assert cores == {12, 8}
+    # Bidirectional links with equal capacity both ways (Fig 15a).
+    for (a, b), mean in CITYLAB_LINK_MEANS.items():
+        assert topology.capacity(a, b, 0.0) == mean
+        assert topology.capacity(b, a, 0.0) == mean
+    # The Fig 8 link is present at 25 Mbps.
+    assert topology.capacity("node3", "node4", 0.0) == 25.0

@@ -1,0 +1,68 @@
+"""Fig 15(b): per-node video bitrates under migration thresholds on the
+emulated CityLab mesh.
+
+Paper: migrating the SFU improves the median bitrate for node1's
+participants (1.4 → 1.6 Mbps) and roughly doubles node2's
+(240 → 480 Kbps) at the 65 % threshold; nodes 3 and 4 see no
+improvement.
+"""
+
+import pytest
+
+from repro.experiments.migration import fig15b_video_thresholds
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="fig15b")
+def test_fig15b_video_thresholds(benchmark):
+    results = run_once(
+        benchmark,
+        fig15b_video_thresholds,
+        thresholds=(None, 0.65, 0.85),
+        duration_s=600.0,
+    )
+    save_table(
+        "fig15b_video_thresholds",
+        ["threshold", "migrations", "node1", "node2", "node3", "node4"],
+        [
+            [
+                r.threshold if r.threshold is not None else "no migration",
+                r.migrations,
+                fmt(r.bitrate_by_node["node1"]),
+                fmt(r.bitrate_by_node["node2"]),
+                fmt(r.bitrate_by_node["node3"]),
+                fmt(r.bitrate_by_node["node4"]),
+            ]
+            for r in results
+        ],
+        note="paper: node2 doubles (0.24 -> 0.48 Mbps) and node1 "
+        "improves at the 65% threshold; nodes 3/4 do not improve",
+    )
+    no_mig = next(r for r in results if r.threshold is None)
+    mig65 = next(r for r in results if r.threshold == 0.65)
+    mig85 = next(r for r in results if r.threshold == 0.85)
+
+    assert no_mig.migrations == 0
+    assert mig65.migrations >= 1
+
+    # node2's poorly-connected participants roughly double (paper: 2x).
+    assert (
+        mig65.bitrate_by_node["node2"]
+        >= 1.5 * no_mig.bitrate_by_node["node2"]
+    )
+    # node1 improves as well.
+    assert (
+        mig65.bitrate_by_node["node1"]
+        >= 1.1 * no_mig.bitrate_by_node["node1"]
+    )
+    # Nodes 3 and 4 see no improvement (the SFU moves away from them).
+    for node in ("node3", "node4"):
+        assert mig65.bitrate_by_node[node] <= 1.1 * no_mig.bitrate_by_node[
+            node
+        ]
+    # The 85% threshold also helps node2, comparably or less than 65%.
+    assert (
+        mig85.bitrate_by_node["node2"]
+        >= 1.2 * no_mig.bitrate_by_node["node2"]
+    )

@@ -1,0 +1,41 @@
+"""Table 3: per-component scheduling latency, k3s vs BASS.
+
+Paper (Go implementations on CloudLab): ~1.27–1.28 ms per component for
+k3s vs 1.28–1.5 ms for BASS — i.e. BASS's whole-DAG scheduling costs
+about the same per component as the baseline.  Our absolute times are
+Python-on-this-host; the reproducible shape is the *ratio*.
+"""
+
+import pytest
+
+from repro.experiments.overheads import table3_scheduling_latency
+
+from _reporting import fmt, run_once, save_table
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_sched_latency(benchmark):
+    rows = run_once(benchmark, table3_scheduling_latency, trials=20)
+    save_table(
+        "table3_sched_latency",
+        ["application", "scheduler", "avg_ms_per_component", "std_ms"],
+        [
+            [r.app, r.scheduler, fmt(r.avg_ms, 4), fmt(r.std_ms, 4)]
+            for r in rows
+        ],
+        note="paper: k3s 1.27-1.28 ms vs BASS 1.28-1.5 ms per component "
+        "(comparable); ours are Python-host absolute values",
+    )
+
+    def avg(app, scheduler):
+        return next(
+            r.avg_ms for r in rows if r.app == app and r.scheduler == scheduler
+        )
+
+    for app in ("social_network", "video_conference", "camera"):
+        bass = avg(app, "bass")
+        k3s = avg(app, "k3s")
+        # Comparable per-component cost: BASS within ~5x of k3s (the
+        # paper's worst ratio is 1.2x; we allow scheduling-substrate
+        # noise at microsecond scales).
+        assert bass < 5 * k3s + 0.05

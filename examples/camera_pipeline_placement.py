@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Camera-pipeline placement on a wireless mesh (Fig 9 / Table 2).
+
+A traffic camera publishes an RTP stream; a sampler picks dissimilar
+frames, a YOLO-style detector annotates them, and listeners consume the
+annotated images and labels.  This example deploys the pipeline with
+each scheduler on the emulated CityLab mesh and reports end-to-end
+frame latency with and without bandwidth variation — the Table 2
+experiment at example scale.
+
+Run:  python examples/camera_pipeline_placement.py
+"""
+
+import numpy as np
+
+from repro.apps.camera import CameraPipelineApp
+from repro.config import BassConfig
+from repro.experiments.common import build_env, deploy_app, run_timeline
+from repro.mesh.topology import citylab_subset
+from repro.mesh.traces import BandwidthTrace
+from repro.sim.rng import RngStreams
+
+DURATION_S = 400.0
+SCHEDULERS = ("bass-bfs", "bass-longest-path", "k3s")
+
+
+def run(scheduler: str, varying: bool) -> tuple[float, dict[str, str]]:
+    rng = RngStreams(22).get("traces")
+    topology = citylab_subset(with_traces=True, trace_duration_s=DURATION_S,
+                              rng=rng)
+    if not varying:
+        # Baseline: pin every link at its trace's observed peak.
+        for link in topology.links:
+            a, b = link.id
+            peak = max(
+                link.capacity(a, b, float(t)) for t in range(0, 400, 10)
+            )
+            link.set_trace(BandwidthTrace.constant(peak))
+    env = build_env(topology, seed=22)
+    app = CameraPipelineApp()
+    handle = deploy_app(env, app, scheduler,
+                        config=BassConfig(),
+                        start_controller=scheduler != "k3s")
+    rng_lat = env.rng.get(f"latency-{scheduler}-{varying}")
+    latencies: list[float] = []
+    run_timeline(
+        env,
+        DURATION_S,
+        on_tick=lambda t: latencies.extend(
+            app.sample_latencies_s(handle.binding, 3, rng_lat)
+        ),
+    )
+    return float(np.median(latencies) * 1000.0), handle.assignments
+
+
+def main() -> None:
+    print("camera pipeline on the emulated CityLab mesh "
+          f"({DURATION_S:.0f} s per run)\n")
+    print(f"{'scheduler':20s} {'steady links':>13s} {'varying links':>14s}  "
+          "placement")
+    for scheduler in SCHEDULERS:
+        steady, placement = run(scheduler, varying=False)
+        varying, _ = run(scheduler, varying=True)
+        compact = {}
+        for component, node in placement.items():
+            compact.setdefault(node, []).append(component.split("-")[0])
+        placement_str = "; ".join(
+            f"{node}: {'+'.join(parts)}" for node, parts in compact.items()
+        )
+        print(f"{scheduler:20s} {steady:>10.0f} ms {varying:>11.0f} ms  "
+              f"{placement_str}")
+    print("\nbandwidth-aware packing keeps the heavy camera->sampler edge "
+          "on loopback, so its latency barely moves when the wireless "
+          "links fluctuate; the oblivious baseline pays for every hop.")
+
+
+if __name__ == "__main__":
+    main()

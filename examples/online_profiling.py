@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Online bandwidth profiling: let BASS learn the requirements itself.
+
+The paper's BASS needs the developer to profile every component pair
+offline (§5) and flags automated online profiling as future work (§8).
+This example deploys the social network with *badly guessed* bandwidth
+annotations, lets the :class:`~repro.core.profiling.OnlineProfiler`
+watch real traffic for a few minutes, applies the learned requirements,
+and shows the annotation error collapsing.
+
+Run:  python examples/online_profiling.py
+"""
+
+import numpy as np
+
+from repro.apps.social import SocialNetworkApp
+from repro.config import BassConfig
+from repro.core.profiling import OnlineProfiler
+from repro.experiments.common import build_env, deploy_app, run_timeline
+
+
+def annotation_error(dag, truth) -> float:
+    errors = [
+        abs(dag.weight(src, dst) - true_value) / true_value
+        for (src, dst), true_value in truth.items()
+        if true_value > 0
+    ]
+    return float(np.mean(errors))
+
+
+def main() -> None:
+    env = build_env(seed=88, with_traces=False)
+    app = SocialNetworkApp(annotate_rps=50.0)
+    handle = deploy_app(
+        env, app, "bass-longest-path",
+        config=BassConfig(migrations_enabled=False),
+        start_controller=False,
+    )
+    app.set_rps(50.0)
+    app.update_demands(handle.binding, 0.0)
+
+    # Ground truth = what the app actually sends on each edge.
+    truth = {
+        (src, dst): handle.binding.edge_demand(src, dst)
+        for src, dst, _ in handle.dag.edges()
+    }
+    # The "developer" guessed every requirement wrong by up to 5x.
+    rng = np.random.default_rng(88)
+    for (src, dst), true_value in truth.items():
+        handle.dag.update_weight(
+            src, dst, max(true_value * float(rng.uniform(0.2, 5.0)), 0.01)
+        )
+    print(f"mean annotation error after the bad guesses: "
+          f"{annotation_error(handle.dag, truth):.0%}")
+
+    profiler = OnlineProfiler(handle.binding, window=150, min_samples=30)
+    env.engine.every(1.0, profiler.sample)
+    print("observing traffic for 180 s ...")
+    run_timeline(env, 180.0)
+    print(f"profiler coverage: {profiler.coverage():.0%} of edges")
+
+    updates = profiler.apply()
+    print(f"applied {len(updates)} learned requirements")
+    print(f"mean annotation error after profiling:      "
+          f"{annotation_error(handle.dag, truth):.0%}")
+
+    print("\nper-edge view (5 hottest edges):")
+    print(f"{'edge':55s} {'true':>7s} {'learned':>8s}")
+    for src, dst, _ in app.hottest_edges(5):
+        print(f"{src + ' -> ' + dst:55s} {truth[(src, dst)]:6.2f}  "
+              f"{handle.dag.weight(src, dst):6.2f}")
+    print("\n(the learned value sits ~20% above the observed p95 — the "
+          "profiler's safety margin)")
+
+
+if __name__ == "__main__":
+    main()

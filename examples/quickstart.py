@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule an application DAG onto a community Wi-Fi mesh.
+
+Walks the whole public API in one sitting:
+
+1. build a mesh topology (the paper's 5-node CityLab subset),
+2. describe an application as a component DAG with bandwidth-annotated
+   edges,
+3. place it with the default k3s scheduler and with both BASS
+   heuristics, and compare what lands where,
+4. start the network emulation, throttle a link, and watch the
+   bandwidth controller migrate the affected component.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BassConfig,
+    BassScheduler,
+    ClusterState,
+    Component,
+    ComponentDAG,
+    K3sScheduler,
+    NetworkEmulator,
+    citylab_subset,
+)
+from repro.experiments.common import build_env, deploy_app, run_timeline
+
+
+def build_application() -> ComponentDAG:
+    """A little analytics pipeline: ingest → filter → {store, alert}."""
+    dag = ComponentDAG("analytics")
+    dag.add_component(Component("ingest", cpu=2, memory_mb=512))
+    dag.add_component(Component("filter", cpu=4, memory_mb=1024))
+    dag.add_component(Component("store", cpu=2, memory_mb=2048))
+    dag.add_component(Component("alert", cpu=1, memory_mb=256))
+    dag.add_dependency("ingest", "filter", bandwidth_mbps=12.0)
+    dag.add_dependency("filter", "store", bandwidth_mbps=5.0)
+    dag.add_dependency("filter", "alert", bandwidth_mbps=0.2)
+    return dag.validate()
+
+
+def compare_placements() -> None:
+    dag = build_application()
+    print(f"application: {dag.app}, {len(dag)} components, "
+          f"{dag.edge_count()} edges, "
+          f"{dag.total_bandwidth_mbps():.1f} Mbps annotated\n")
+
+    for label, make_assignments in [
+        ("k3s (bandwidth-oblivious)",
+         lambda topo, cluster, netem: K3sScheduler().schedule(
+             dag.to_pods(), cluster)),
+        ("BASS breadth-first",
+         lambda topo, cluster, netem: BassScheduler("bfs").schedule(
+             dag, cluster, netem)),
+        ("BASS longest-path",
+         lambda topo, cluster, netem: BassScheduler("longest_path").schedule(
+             dag, cluster, netem)),
+    ]:
+        topology = citylab_subset()
+        cluster = ClusterState.from_topology(topology)
+        netem = NetworkEmulator(topology)
+        assignments = make_assignments(topology, cluster, netem)
+        crossings = sum(
+            1
+            for src, dst, _ in dag.edges()
+            if assignments[src] != assignments[dst]
+        )
+        print(f"{label:28s} -> {assignments}   ({crossings} edges cross "
+              "the wireless mesh)")
+
+
+def watch_a_migration() -> None:
+    print("\n--- dynamic re-orchestration ---")
+    env = build_env(seed=7, with_traces=False)
+
+    class AnalyticsApp:
+        name = "analytics"
+
+        def build_dag(self):
+            return build_application()
+
+        def update_demands(self, binding, t):
+            pass
+
+        def on_deployed(self, binding):
+            pass
+
+    config = BassConfig().with_migration(cooldown_s=0.0)
+    handle = deploy_app(env, AnalyticsApp(), "bass-longest-path",
+                        config=config)
+    print("initial placement:", handle.deployment.bindings)
+
+    # Force the pipeline apart so an inter-node edge exists, then
+    # strangle the link under it.
+    node_of = handle.deployment.node_of
+    if node_of("ingest") == node_of("filter"):
+        target = next(
+            n for n in env.cluster.node_names if n != node_of("filter")
+            and env.cluster.node(n).can_fit(
+                handle.dag.component("ingest").resources)
+        )
+        env.orchestrator.migrate("analytics", "ingest", target,
+                                 reason="demo split")
+        handle.binding.sync_flows()
+    src, dst = node_of("ingest"), node_of("filter")
+    print(f"ingest -> filter edge now crosses {src} -> {dst}; "
+          "throttling that path to 2 Mbps ...")
+    for a, b in handle.monitor.links_of_path(src, dst):
+        env.topology.link(a, b).set_rate_limit(2.0)
+
+    run_timeline(env, 120.0)
+    print("migrations performed:")
+    for record in handle.deployment.migrations:
+        print(f"  t={record.time:6.1f}s  {record.pod_name}: "
+              f"{record.from_node} -> {record.to_node}  ({record.reason})")
+    print("final placement:", handle.deployment.bindings)
+    print("goodput on ingest->filter edge:",
+          f"{handle.binding.goodput('ingest', 'filter'):.2f}")
+
+
+def explain_the_decision() -> None:
+    print("\n--- placement explanation ---")
+    from repro.core import explain_placement
+
+    topology = citylab_subset()
+    cluster = ClusterState.from_topology(topology)
+    netem = NetworkEmulator(topology)
+    explanation = explain_placement(
+        build_application(), cluster, netem, heuristic="longest_path"
+    )
+    print(explanation.render())
+
+
+if __name__ == "__main__":
+    compare_placements()
+    watch_a_migration()
+    explain_the_decision()

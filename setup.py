@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools lacks the ``wheel`` package required by PEP 660 editable
+installs (pip falls back to ``setup.py develop`` when this file is
+present).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

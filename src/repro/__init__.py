@@ -1,0 +1,73 @@
+"""Reproduction of *BASS: A Resource Orchestrator to Account for
+Vagaries in Network Conditions in Community Wi-Fi Mesh* (MIDDLEWARE '24).
+
+Public API overview:
+
+* Build an application DAG with :class:`~repro.core.dag.ComponentDAG`.
+* Build a mesh with :mod:`repro.mesh` (e.g. :func:`~repro.mesh.topology.citylab_subset`).
+* Emulate traffic with :class:`~repro.net.netem.NetworkEmulator`.
+* Schedule with :class:`~repro.core.scheduler.BassScheduler` (or the
+  baseline :class:`~repro.cluster.k3s.K3sScheduler`).
+* Run dynamic re-orchestration with
+  :class:`~repro.core.controller.BandwidthController`.
+
+See ``examples/quickstart.py`` for an end-to-end walk-through.
+"""
+
+from .config import BassConfig, MigrationConfig, ProbeConfig
+from .core import (
+    BandwidthController,
+    BassScheduler,
+    Component,
+    ComponentDAG,
+    DeploymentBinding,
+    MigrationPlanner,
+    NetMonitor,
+    breadth_first_order,
+    longest_path_order,
+)
+from .cluster import (
+    ClusterState,
+    Deployment,
+    K3sScheduler,
+    Orchestrator,
+    PodSpec,
+    ResourceSpec,
+)
+from .errors import ReproError
+from .mesh import BandwidthTrace, MeshNode, MeshTopology, Router, citylab_subset
+from .net import NetworkEmulator
+from .sim import Engine, RngStreams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthController",
+    "BandwidthTrace",
+    "BassConfig",
+    "BassScheduler",
+    "ClusterState",
+    "Component",
+    "ComponentDAG",
+    "Deployment",
+    "DeploymentBinding",
+    "Engine",
+    "K3sScheduler",
+    "MeshNode",
+    "MeshTopology",
+    "MigrationConfig",
+    "MigrationPlanner",
+    "NetMonitor",
+    "NetworkEmulator",
+    "Orchestrator",
+    "PodSpec",
+    "ProbeConfig",
+    "ReproError",
+    "ResourceSpec",
+    "RngStreams",
+    "Router",
+    "breadth_first_order",
+    "citylab_subset",
+    "longest_path_order",
+    "__version__",
+]

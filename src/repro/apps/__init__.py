@@ -1,0 +1,27 @@
+"""Workload models: the three applications of the paper's evaluation.
+
+* :mod:`repro.apps.video` — Pion-like SFU video conferencing (network
+  bound; per-client bitrate is the metric).
+* :mod:`repro.apps.camera` — the camera-processing pipeline of Fig 9
+  (bandwidth intensive, CPU bound at the detector; end-to-end frame
+  latency is the metric).
+* :mod:`repro.apps.social` — a DeathStarBench-like social network of 27
+  microservices (RPC heavy; end-to-end request latency is the metric).
+* :mod:`repro.apps.workload` — open-loop arrival processes (fixed rate
+  and exponential/Poisson).
+"""
+
+from .base import Application
+from .camera import CameraPipelineApp
+from .social import SocialNetworkApp
+from .video import VideoConferenceApp
+from .workload import ExponentialArrivals, FixedRate
+
+__all__ = [
+    "Application",
+    "CameraPipelineApp",
+    "ExponentialArrivals",
+    "FixedRate",
+    "SocialNetworkApp",
+    "VideoConferenceApp",
+]

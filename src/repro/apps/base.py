@@ -1,0 +1,40 @@
+"""Application abstraction shared by the three workload models.
+
+An :class:`Application` supplies its component DAG (with bandwidth
+annotations) and, once deployed, converts workload intensity into edge
+demands each tick and samples its SLO metric from the network state.
+The experiment harness (``repro.experiments``) owns the wiring:
+schedule → deploy → bind flows → drive workload → sample metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.binding import DeploymentBinding
+from ..core.dag import ComponentDAG
+
+
+class Application(ABC):
+    """Base class for workload models.
+
+    Subclasses must build their DAG; the traffic and metric hooks have
+    no-op defaults for applications whose demand never changes.
+    """
+
+    #: Application name; also the DAG/app identifier.
+    name: str = "app"
+
+    @abstractmethod
+    def build_dag(self) -> ComponentDAG:
+        """The component DAG with bandwidth-annotated edges."""
+
+    def update_demands(self, binding: DeploymentBinding, t: float) -> None:
+        """Refresh edge demands for the current instant.
+
+        Called once per experiment tick, *before* metrics are sampled.
+        The default leaves the DAG's static annotations in force.
+        """
+
+    def on_deployed(self, binding: DeploymentBinding) -> None:
+        """Hook invoked right after flows are first synchronized."""

@@ -1,0 +1,259 @@
+"""Video conferencing: a Pion-like selective forwarding unit (SFU).
+
+"This application has a single component server, which all participants
+(clients) connect to.  The server collects video feeds from
+participants and forwards those feeds to other participants" (§6.1),
+"thereby requiring significant outgoing bandwidth at the node where the
+component is placed".
+
+Model: the SFU is the only schedulable component (matching Table 4's
+"1 component" for this app).  Participants are user devices at fixed
+mesh nodes; no orchestrator may move them.  Each participant is split
+into two *pinned, zero-resource* pseudo-components so that both traffic
+directions exist without creating a cycle in the component graph:
+
+* ``pub-<name>`` → ``sfu``   carries the participant's upstream feed;
+* ``sfu`` → ``sub-<name>``   carries every other publisher's feed down.
+
+WebRTC feeds are near-constant bitrate, so the download demand at a
+participant is ``(#publishers other than them) × stream bitrate`` —
+which is what makes the SFU's egress link the bottleneck past ~10
+participants on a 30 Mbps link (Fig 4).
+
+Metrics: per-client achieved download bitrate (the client flow's
+max-min allocation averaged over subscribed streams) and packet loss
+(compound queue loss along the SFU → client path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.binding import DeploymentBinding
+from ..core.dag import Component, ComponentDAG
+from ..errors import ConfigError
+from .base import Application
+
+#: Default per-stream video bitrate (Mbps).  WebRTC VGA/HD feeds run
+#: 1.5–3 Mbps; 2.5 puts the Fig 4 knee near 10 participants at 30 Mbps.
+DEFAULT_STREAM_MBPS = 2.5
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One conference participant at a fixed mesh node."""
+
+    name: str
+    node: str
+    publishes: bool = True
+
+    @property
+    def pub_component(self) -> str:
+        return f"pub-{self.name}"
+
+    @property
+    def sub_component(self) -> str:
+        return f"sub-{self.name}"
+
+
+class VideoConferenceApp(Application):
+    """A conference: one SFU component plus pinned participant endpoints.
+
+    Args:
+        participants: who is in the call and where they sit.
+        stream_mbps: bitrate of each published feed.
+        sfu_cpu: CPU request of the SFU component.
+        sfu_memory_mb: memory request of the SFU component.
+
+    Example:
+        >>> app = VideoConferenceApp([
+        ...     Participant("alice", "node1"),
+        ...     Participant("bob", "node2"),
+        ... ])
+        >>> dag = app.build_dag()
+        >>> sorted(dag.dependencies("sfu"))
+        ['sub-alice', 'sub-bob']
+    """
+
+    name = "videoconf"
+
+    def __init__(
+        self,
+        participants: list[Participant],
+        *,
+        stream_mbps: float = DEFAULT_STREAM_MBPS,
+        sfu_cpu: float = 2.0,
+        sfu_memory_mb: float = 1024.0,
+        adaptive: bool = False,
+        min_stream_fraction: float = 0.1,
+    ) -> None:
+        if not participants:
+            raise ConfigError("a conference needs at least one participant")
+        if stream_mbps <= 0:
+            raise ConfigError("stream_mbps must be positive")
+        if not 0 < min_stream_fraction <= 1:
+            raise ConfigError("min_stream_fraction must be in (0, 1]")
+        names = [p.name for p in participants]
+        if len(set(names)) != len(names):
+            raise ConfigError("participant names must be unique")
+        self.participants = list(participants)
+        self.stream_mbps = stream_mbps
+        self.sfu_cpu = sfu_cpu
+        self.sfu_memory_mb = sfu_memory_mb
+        #: WebRTC-style congestion control: when enabled, each download
+        #: edge's offered rate adapts AIMD-fashion to its achieved rate
+        #: — squeezed clients drop to a lower video layer instead of
+        #: blasting a congested queue (so loss stays near zero, at the
+        #: price of a lower bitrate).  The paper's clients behave this
+        #: way between the loss spikes of Fig 4.
+        self.adaptive = adaptive
+        self.min_stream_fraction = min_stream_fraction
+
+    # -- DAG ----------------------------------------------------------------
+
+    @property
+    def publishers(self) -> list[Participant]:
+        return [p for p in self.participants if p.publishes]
+
+    def subscribed_streams(self, participant: Participant) -> int:
+        """Streams ``participant`` downloads: every other publisher's."""
+        return sum(
+            1 for pub in self.publishers if pub.name != participant.name
+        )
+
+    def build_dag(self) -> ComponentDAG:
+        dag = ComponentDAG(self.name)
+        dag.add_component(
+            Component("sfu", cpu=self.sfu_cpu, memory_mb=self.sfu_memory_mb)
+        )
+        for participant in self.participants:
+            if participant.publishes:
+                dag.add_component(
+                    Component(
+                        participant.pub_component,
+                        cpu=0.0,
+                        memory_mb=0.0,
+                        pinned_node=participant.node,
+                    )
+                )
+                dag.add_dependency(
+                    participant.pub_component, "sfu", self.stream_mbps
+                )
+            streams = self.subscribed_streams(participant)
+            if streams > 0:
+                dag.add_component(
+                    Component(
+                        participant.sub_component,
+                        cpu=0.0,
+                        memory_mb=0.0,
+                        pinned_node=participant.node,
+                    )
+                )
+                dag.add_dependency(
+                    "sfu",
+                    participant.sub_component,
+                    streams * self.stream_mbps,
+                )
+        return dag.validate()
+
+    # -- congestion control ----------------------------------------------------
+
+    def update_demands(self, binding, t: float) -> None:  # noqa: ANN001
+        """AIMD adaptation of download-edge offered rates (adaptive mode).
+
+        Multiplicative decrease when the edge is being squeezed (back
+        off below the achieved rate), additive-ish increase (5 % per
+        tick) toward the full layer rate otherwise.
+        """
+        if not self.adaptive:
+            return
+        for participant in self.participants:
+            streams = self.subscribed_streams(participant)
+            if streams == 0:
+                continue
+            full = streams * self.stream_mbps
+            floor = full * self.min_stream_fraction
+            edge = ("sfu", participant.sub_component)
+            flow_id = self.client_download_flow_id(participant)
+            if not binding.netem.has_flow(flow_id):
+                binding.set_demand_override(*edge, None)  # loopback
+                continue
+            flow = binding.netem.flow(flow_id)
+            if flow.demand_mbps <= 0:
+                continue  # silenced by a restart window
+            if flow.goodput_fraction < 0.98:
+                target = max(floor, flow.allocated_mbps * 0.85)
+            else:
+                target = min(full, flow.demand_mbps * 1.05)
+            binding.set_demand_override(*edge, target)
+        binding.sync_flows()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def client_download_flow_id(self, participant: Participant) -> str:
+        return f"{self.name}:sfu->{participant.sub_component}"
+
+    def client_bitrate_mbps(
+        self,
+        participant: Participant,
+        binding: DeploymentBinding,
+    ) -> float:
+        """Achieved per-stream download bitrate at a participant (Mbps).
+
+        During an SFU restart the stream is down entirely (the paper's
+        participants "experience temporary disruption", §6.2.3).
+        """
+        streams = self.subscribed_streams(participant)
+        if streams == 0:
+            return 0.0
+        deployment = binding.deployment
+        now = binding.netem.now
+        if not deployment.is_available("sfu", now):
+            return 0.0
+        flow_id = self.client_download_flow_id(participant)
+        if not binding.netem.has_flow(flow_id):
+            # Co-located with the SFU: loopback delivers full rate.
+            return self.stream_mbps
+        achieved = binding.netem.flow(flow_id).allocated_mbps
+        return achieved / streams
+
+    def client_loss_fraction(
+        self,
+        participant: Participant,
+        binding: DeploymentBinding,
+    ) -> float:
+        """Compound packet loss on the SFU → participant path."""
+        deployment = binding.deployment
+        sfu_node = deployment.node_of("sfu")
+        client_node = participant.node
+        if sfu_node == client_node:
+            return 0.0
+        return binding.netem.path_loss_fraction(sfu_node, client_node)
+
+    def mean_bitrate_by_node(
+        self, binding: DeploymentBinding
+    ) -> dict[str, float]:
+        """Average per-client bitrate grouped by the client's node
+        (the grouping Fig 15(b) plots)."""
+        totals: dict[str, list[float]] = {}
+        for participant in self.participants:
+            totals.setdefault(participant.node, []).append(
+                self.client_bitrate_mbps(participant, binding)
+            )
+        return {
+            node: sum(values) / len(values)
+            for node, values in totals.items()
+        }
+
+    @staticmethod
+    def conference_at_nodes(
+        nodes: list[str], per_node: int, **kwargs
+    ) -> "VideoConferenceApp":
+        """Convenience: ``per_node`` publishing participants at each node
+        (the §6.3.2 setup: 3 clients at each of the 4 workers)."""
+        participants = [
+            Participant(f"{node}-p{i}", node)
+            for node in nodes
+            for i in range(per_node)
+        ]
+        return VideoConferenceApp(participants, **kwargs)

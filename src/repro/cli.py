@@ -1,0 +1,383 @@
+"""Command-line entry point: regenerate any paper experiment.
+
+Usage::
+
+    bass-repro list
+    bass-repro run fig10 [--quick]
+    bass-repro run table2
+
+``--quick`` trims horizons so a laptop regenerates an experiment in
+seconds (shape-accurate, noisier numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Iterable, Sequence
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in materialized))
+        if materialized
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    out = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(
+        "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        for row in materialized
+    )
+    return "\n".join(out)
+
+
+def _run_fig2(quick: bool) -> None:
+    from .experiments.motivation import fig2_bandwidth_variation
+
+    links = fig2_bandwidth_variation(duration_s=600.0 if quick else 3600.0)
+    print(
+        _table(
+            ["link", "mean_mbps", "rel_std"],
+            [
+                [l.label, f"{l.mean_mbps:.2f}", f"{l.rel_std:.2f}"]
+                for l in links
+            ],
+        )
+    )
+
+
+def _run_fig4(quick: bool) -> None:
+    from .experiments.motivation import fig4_pion_bottleneck
+
+    points = fig4_pion_bottleneck(
+        participant_counts=(4, 8, 10, 12, 14) if quick else
+        (4, 6, 8, 10, 11, 12, 13, 14),
+        settle_s=30.0 if quick else 60.0,
+    )
+    print(
+        _table(
+            ["participants", "per_client_mbps", "loss"],
+            [
+                [p.participants, f"{p.per_client_mbps:.2f}",
+                 f"{p.loss_fraction:.3f}"]
+                for p in points
+            ],
+        )
+    )
+
+
+def _run_fig5(quick: bool) -> None:
+    from .experiments.motivation import fig5_socialnet_throttle
+
+    series = fig5_socialnet_throttle(total_s=200.0 if quick else 360.0,
+                                     throttle_start_s=60.0 if quick else 120.0)
+    before, during, after = series.phase_means()
+    print(
+        _table(
+            ["phase", "mean_latency_s"],
+            [["before", f"{before:.2f}"], ["during", f"{during:.2f}"],
+             ["after", f"{after:.2f}"]],
+        )
+    )
+
+
+def _run_fig8(quick: bool) -> None:
+    from .experiments.migration import fig8_migration_timeline
+
+    timeline = (
+        fig8_migration_timeline(drop_time_s=60.0, second_drop_time_s=300.0,
+                                total_s=500.0)
+        if quick
+        else fig8_migration_timeline()
+    )
+    rows = [["full probe", f"{t:.0f}", ""] for t in timeline.full_probe_times]
+    rows += [
+        ["migration", f"{m.time:.0f}", f"{m.pod_name}: {m.from_node} -> "
+         f"{m.to_node}"]
+        for m in timeline.migrations
+    ]
+    print(_table(["event", "time_s", "detail"], sorted(rows, key=lambda r: float(r[1]))))
+
+
+def _run_fig10(quick: bool) -> None:
+    from .experiments.static_placement import fig10_camera_static
+
+    rows = fig10_camera_static(duration_s=40.0 if quick else 120.0)
+    print(
+        _table(
+            ["scheduler", "mean_ms", "chain_hops"],
+            [
+                [r.scheduler, f"{r.mean_latency_ms:.0f}",
+                 r.inter_node_chain_hops]
+                for r in rows
+            ],
+        )
+    )
+
+
+def _run_fig11(quick: bool) -> None:
+    from .experiments.static_placement import fig11_socialnet_p99
+
+    cells = fig11_socialnet_p99(
+        rates=(100.0, 300.0) if quick else (100.0, 200.0, 300.0),
+        duration_s=60.0 if quick else 150.0,
+    )
+    print(
+        _table(
+            ["scheduler", "rps", "restricted", "p99_s"],
+            [
+                [c.scheduler, int(c.rps), c.restricted,
+                 f"{c.p99_latency_s:.2f}"]
+                for c in cells
+            ],
+        )
+    )
+
+
+def _run_fig12(quick: bool) -> None:
+    from .experiments.migration import fig12_video_query_interval
+
+    series = fig12_video_query_interval(
+        intervals=(30.0, None) if quick else (30.0, 60.0, 90.0, None),
+        total_s=160.0 if quick else 300.0,
+        restrict_for_s=100.0 if quick else 180.0,
+    )
+    print(
+        _table(
+            ["interval_s", "migrations", "mean_mbps_during"],
+            [
+                [
+                    s.interval_s if s.interval_s is not None else "none",
+                    len(s.migrations),
+                    f"{s.mean_during(40.0, 100.0):.2f}",
+                ]
+                for s in series
+            ],
+        )
+    )
+
+
+def _run_fig13(quick: bool) -> None:
+    from .experiments.migration import fig13_socialnet_migration
+
+    series = fig13_socialnet_migration(
+        intervals=(30.0, None) if quick else (30.0, 60.0, 90.0, None),
+        total_s=160.0 if quick else 300.0,
+        restrict_for_s=120.0 if quick else 180.0,
+    )
+    print(
+        _table(
+            ["interval_s", "migrations", "mean_s_during", "p99_s"],
+            [
+                [
+                    s.interval_s if s.interval_s is not None else "none",
+                    len(s.migrations),
+                    f"{s.mean_during(30.0, 130.0):.2f}",
+                    f"{s.p99():.2f}",
+                ]
+                for s in series
+            ],
+        )
+    )
+
+
+def _run_table1(quick: bool) -> None:
+    from .experiments.migration import table1_migration_iterations
+
+    result = table1_migration_iterations(total_s=200.0 if quick else 260.0)
+    print(
+        _table(
+            ["iteration", "over_quota", "migrated"],
+            [[i, o, m] for i, o, m in result.rows],
+        )
+    )
+
+
+def _run_fig14a(quick: bool) -> None:
+    from .experiments.migration import fig14a_restart_cdf
+
+    result = fig14a_restart_cdf(
+        total_s=140.0 if quick else 240.0,
+        restart_at_s=70.0 if quick else 120.0,
+    )
+    baseline, restart = result.means()
+    print(
+        _table(
+            ["series", "mean_latency_s"],
+            [["steady state", f"{baseline:.3f}"],
+             ["during restart", f"{restart:.3f}"]],
+        )
+    )
+
+
+def _run_fig14b(quick: bool) -> None:
+    from .experiments.migration import fig14b_scheduler_cdf
+
+    results = fig14b_scheduler_cdf(duration_s=400.0 if quick else 1200.0)
+    print(
+        _table(
+            ["configuration", "median_s", "p99_s", "migrations"],
+            [
+                [r.label, f"{r.median():.2f}", f"{r.p99():.2f}", r.migrations]
+                for r in results
+            ],
+        )
+    )
+
+
+def _run_fig14cd(quick: bool) -> None:
+    from .experiments.thresholds import fig14cd_threshold_sweep
+
+    cells = fig14cd_threshold_sweep(
+        heuristics=("longest_path",) if quick else ("bfs", "longest_path"),
+        thresholds=(0.25, 0.65, 0.95) if quick else
+        (0.25, 0.50, 0.65, 0.75, 0.95),
+        headrooms=(0.20,) if quick else (0.10, 0.20, 0.30),
+        duration_s=200.0 if quick else 600.0,
+    )
+    print(
+        _table(
+            ["heuristic", "threshold", "headroom", "uq_s", "migrations"],
+            [
+                [c.heuristic, c.threshold, c.headroom,
+                 f"{c.upper_quartile_latency_s:.2f}", c.migrations]
+                for c in cells
+            ],
+        )
+    )
+
+
+def _run_fig15b(quick: bool) -> None:
+    from .experiments.migration import fig15b_video_thresholds
+
+    results = fig15b_video_thresholds(
+        thresholds=(None, 0.65) if quick else (None, 0.65, 0.85),
+        duration_s=300.0 if quick else 600.0,
+    )
+    print(
+        _table(
+            ["threshold", "migrations", "node1", "node2", "node3", "node4"],
+            [
+                [
+                    r.threshold if r.threshold is not None else "none",
+                    r.migrations,
+                ]
+                + [f"{r.bitrate_by_node[n]:.2f}" for n in
+                   ("node1", "node2", "node3", "node4")]
+                for r in results
+            ],
+        )
+    )
+
+
+def _run_fig16(quick: bool) -> None:
+    from .experiments.thresholds import fig16_exponential_thresholds
+
+    cells = fig16_exponential_thresholds(
+        thresholds=(0.25, 0.75) if quick else (0.25, 0.50, 0.65, 0.75),
+        duration_s=200.0 if quick else 600.0,
+    )
+    print(
+        _table(
+            ["threshold", "mean_s", "migrations"],
+            [
+                [c.threshold, f"{c.mean_latency_s:.2f}", c.migrations]
+                for c in cells
+            ],
+        )
+    )
+
+
+def _run_table2(quick: bool) -> None:
+    from .experiments.static_placement import table2_camera_mesh
+
+    rows = table2_camera_mesh(duration_s=300.0 if quick else 1200.0)
+    print(
+        _table(
+            ["scenario", "scheduler", "median_ms", "migrations"],
+            [
+                [r.scenario, r.scheduler, f"{r.median_latency_ms:.0f}",
+                 r.migrations]
+                for r in rows
+            ],
+        )
+    )
+
+
+def _run_table3(quick: bool) -> None:
+    from .experiments.overheads import table3_scheduling_latency
+
+    rows = table3_scheduling_latency(trials=5 if quick else 20)
+    print(
+        _table(
+            ["application", "scheduler", "avg_ms_per_component"],
+            [[r.app, r.scheduler, f"{r.avg_ms:.4f}"] for r in rows],
+        )
+    )
+
+
+def _run_table4(quick: bool) -> None:
+    from .experiments.overheads import table4_dag_processing
+
+    rows = table4_dag_processing(trials=10 if quick else 50)
+    print(
+        _table(
+            ["application", "components", "avg_ms"],
+            [[r.app, r.components, f"{r.avg_ms:.3f}"] for r in rows],
+        )
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[bool], None]]] = {
+    "fig2": ("bandwidth variation on two CityLab links", _run_fig2),
+    "fig4": ("Pion bitrate/loss vs participants on a bottleneck", _run_fig4),
+    "fig5": ("social-network latency through a 25 Mbps throttle", _run_fig5),
+    "fig8": ("worked migration timeline", _run_fig8),
+    "fig10": ("camera latency per scheduler, unconstrained LAN", _run_fig10),
+    "fig11": ("social-network p99 vs RPS, ± one throttled node", _run_fig11),
+    "fig12": ("video bitrate vs bandwidth-query interval", _run_fig12),
+    "fig13": ("social-network latency vs monitoring interval", _run_fig13),
+    "table1": ("migration iterations: over-quota vs migrated", _run_table1),
+    "fig14a": ("restart cost on end-to-end latency", _run_fig14a),
+    "fig14b": ("scheduler comparison CDF on the emulated mesh", _run_fig14b),
+    "fig14cd": ("threshold x headroom sweep, fixed arrivals", _run_fig14cd),
+    "fig15b": ("video bitrate by node vs migration threshold", _run_fig15b),
+    "fig16": ("threshold sweep under exponential arrivals", _run_fig16),
+    "table2": ("camera median latency on the emulated mesh", _run_table2),
+    "table3": ("per-component scheduling latency", _run_table3),
+    "table4": ("DAG processing time per application", _run_table4),
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bass-repro",
+        description="Regenerate the BASS paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runner = sub.add_parser("run", help="run one experiment")
+    runner.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    runner.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter horizons; shape-accurate but noisier",
+    )
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:10s} {EXPERIMENTS[name][0]}")
+        return 0
+
+    description, run = EXPERIMENTS[args.experiment]
+    print(f"== {args.experiment}: {description} ==\n")
+    run(args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

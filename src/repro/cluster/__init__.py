@@ -1,0 +1,26 @@
+"""k3s-like orchestration substrate.
+
+Provides the cluster-side building blocks BASS extends: resource
+accounting per node, pod specifications carrying bandwidth annotations,
+deployment state, a bandwidth-*oblivious* baseline scheduler faithful to
+k3s/Kubernetes behaviour (one pod at a time, CPU/memory filtering,
+least-allocated scoring), and an orchestrator runtime that executes
+placements and migrations with the paper's restart-cost model.
+"""
+
+from .deployment import Deployment, MigrationRecord
+from .k3s import K3sScheduler
+from .orchestrator import ClusterState, Orchestrator
+from .pod import PodSpec
+from .resources import NodeResources, ResourceSpec
+
+__all__ = [
+    "ClusterState",
+    "Deployment",
+    "K3sScheduler",
+    "MigrationRecord",
+    "NodeResources",
+    "Orchestrator",
+    "PodSpec",
+    "ResourceSpec",
+]

@@ -1,0 +1,216 @@
+"""Deployment ↔ network binding.
+
+For every inter-node edge of a deployed application DAG, a fluid flow
+must exist in the network emulator carrying the edge's demand; edges
+between co-located components use loopback and produce no flow.  The
+:class:`DeploymentBinding` keeps this mapping in sync across initial
+deployment, demand changes (workload-dependent traffic), migrations
+(endpoints move; the component is silent while restarting), and
+teardown.  It is also the source of passive goodput measurements for
+the controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster.deployment import Deployment
+from ..errors import DagError
+from ..net.netem import NetworkEmulator
+from .dag import ComponentDAG
+
+
+def edge_flow_id(app: str, src: str, dst: str) -> str:
+    """Stable flow identifier for an application edge."""
+    return f"{app}:{src}->{dst}"
+
+
+class DeploymentBinding:
+    """Synchronizes an application's DAG edges with emulator flows.
+
+    Args:
+        dag: the application DAG (edge weights = default demands).
+        deployment: live component → node bindings.
+        netem: the network emulator to create flows in.
+
+    Example:
+        After a migration, call :meth:`sync_flows` so edge flows are
+        rerouted to the component's new node.
+    """
+
+    def __init__(
+        self,
+        dag: ComponentDAG,
+        deployment: Deployment,
+        netem: NetworkEmulator,
+    ) -> None:
+        if dag.app != deployment.app:
+            raise DagError(
+                f"DAG app {dag.app!r} != deployment app {deployment.app!r}"
+            )
+        self.dag = dag
+        self.deployment = deployment
+        self.netem = netem
+        self._demand_scale: dict[tuple[str, str], float] = {}
+        self._demand_override: dict[tuple[str, str], Optional[float]] = {}
+        # Demands derive from the weights as annotated at deployment
+        # time: online profiling may later revise the DAG's requirement
+        # annotations without changing what the application sends.
+        self._base_weights: dict[tuple[str, str], float] = {
+            (src, dst): weight for src, dst, weight in dag.edges()
+        }
+
+    # -- demand control -------------------------------------------------------
+
+    def set_demand_scale(self, src: str, dst: str, scale: float) -> None:
+        """Scale an edge's demand relative to its annotated weight.
+
+        Workload models use this to convert request rate into traffic
+        (e.g. demand proportional to offered RPS).
+        """
+        if scale < 0:
+            raise DagError("demand scale must be >= 0")
+        self.dag.weight(src, dst)  # validates the edge exists
+        self._demand_scale[(src, dst)] = scale
+
+    def set_demand_override(
+        self, src: str, dst: str, demand_mbps: Optional[float]
+    ) -> None:
+        """Pin an edge's demand to an absolute value (None clears)."""
+        if demand_mbps is not None and demand_mbps < 0:
+            raise DagError("demand override must be >= 0 or None")
+        self.dag.weight(src, dst)
+        self._demand_override[(src, dst)] = demand_mbps
+
+    def set_global_scale(self, scale: float) -> None:
+        """Scale every edge's demand (e.g. load level of the workload)."""
+        for src, dst, _ in self.dag.edges():
+            self.set_demand_scale(src, dst, scale)
+
+    def edge_demand(self, src: str, dst: str) -> float:
+        """Current offered demand for an edge, Mbps.
+
+        A component mid-restart sends and receives nothing, so edges
+        touching it carry zero demand until it is available again.
+        """
+        now = self.netem.now
+        if not (
+            self.deployment.is_available(src, now)
+            and self.deployment.is_available(dst, now)
+        ):
+            return 0.0
+        override = self._demand_override.get((src, dst))
+        if override is not None:
+            return override
+        base = self._base_weights.get((src, dst))
+        if base is None:
+            base = self.dag.weight(src, dst)
+        return base * self._demand_scale.get((src, dst), 1.0)
+
+    # -- flow synchronization ------------------------------------------------------
+
+    def sync_flows(self) -> None:
+        """Create/update/remove emulator flows to match current state.
+
+        Co-located edges carry no flow.  Flows whose endpoints moved are
+        recreated on the new route; demands are refreshed everywhere.
+        """
+        for src, dst, _ in self.dag.edges():
+            flow_id = edge_flow_id(self.dag.app, src, dst)
+            src_node = self.deployment.node_of(src)
+            dst_node = self.deployment.node_of(dst)
+            demand = self.edge_demand(src, dst)
+            if src_node == dst_node:
+                if self.netem.has_flow(flow_id):
+                    self.netem.remove_flow(flow_id)
+                continue
+            if self.netem.has_flow(flow_id):
+                flow = self.netem.flow(flow_id)
+                if flow.src != src_node or flow.dst != dst_node:
+                    self.netem.reroute_flow(flow_id, src_node, dst_node)
+                self.netem.set_demand(flow_id, demand)
+            else:
+                self.netem.add_flow(flow_id, src_node, dst_node, demand)
+        self.netem.recompute()
+
+    def remove_flows(self) -> None:
+        """Drop all of the application's edge flows (teardown)."""
+        for src, dst, _ in self.dag.edges():
+            self.netem.remove_flow(edge_flow_id(self.dag.app, src, dst))
+
+    # -- passive measurement --------------------------------------------------------
+
+    def goodput(self, src: str, dst: str) -> float:
+        """Measured goodput fraction for an edge.
+
+        Co-located edges (and edges with no required bandwidth) always
+        achieve full goodput; otherwise it is the flow's achieved /
+        offered ratio.  An edge silenced by a restart reports full
+        goodput — an unavailable component is the migration's own cost,
+        not a new bandwidth violation.
+        """
+        required = self.dag.weight(src, dst)
+        if required <= 0:
+            return 1.0
+        if self.deployment.colocated(src, dst):
+            return 1.0
+        demand = self.edge_demand(src, dst)
+        if demand <= 0:
+            return 1.0
+        flow_id = edge_flow_id(self.dag.app, src, dst)
+        if not self.netem.has_flow(flow_id):
+            return 1.0
+        flow = self.netem.flow(flow_id)
+        if flow.demand_mbps <= 0:
+            return 1.0
+        return min(1.0, flow.allocated_mbps / flow.demand_mbps)
+
+    def achieved_mbps(self, src: str, dst: str) -> float:
+        """Achieved traffic rate on an edge (Mbps).
+
+        Co-located edges deliver their full demand over loopback.
+        """
+        if self.deployment.colocated(src, dst):
+            return self.edge_demand(src, dst)
+        flow_id = edge_flow_id(self.dag.app, src, dst)
+        if not self.netem.has_flow(flow_id):
+            return 0.0
+        return self.netem.flow(flow_id).allocated_mbps
+
+    def edge_transfer_time_s(
+        self, src: str, dst: str, payload_mbit: float
+    ) -> float:
+        """Time for ``payload_mbit`` to cross an edge right now.
+
+        The payload rides the edge's fluid flow, so it moves at the
+        flow's *allocated* (max-min fair) rate and additionally waits
+        behind the path's propagation and queue backlog.  Co-located
+        edges hand data over loopback at no cost.
+        """
+        if payload_mbit <= 0:
+            return 0.0
+        src_node = self.deployment.node_of(src)
+        dst_node = self.deployment.node_of(dst)
+        if src_node == dst_node:
+            return 0.0
+        flow_id = edge_flow_id(self.dag.app, src, dst)
+        rate = 0.0
+        if self.netem.has_flow(flow_id):
+            flow = self.netem.flow(flow_id)
+            if flow.demand_mbps > 0:
+                rate = flow.allocated_mbps
+        if rate <= 0:
+            # No live flow (or one silenced by a restart window): the
+            # payload would ride whatever the path has spare.  Restart
+            # stalls themselves are charged by the caller, not here.
+            rate = self.netem.path_available_bandwidth(src_node, dst_node)
+        rate = max(rate, 0.01)  # a starved edge still trickles
+        return payload_mbit / rate + self.netem.path_delay_s(src_node, dst_node)
+
+    def inter_node_edges(self) -> list[tuple[str, str, float]]:
+        """Edges currently crossing the network, with requirements."""
+        result = []
+        for src, dst, weight in self.dag.edges():
+            if not self.deployment.colocated(src, dst):
+                result.append((src, dst, weight))
+        return result

@@ -1,0 +1,300 @@
+"""The BASS bandwidth controller (§4.3).
+
+Periodically (every headroom-probe interval) the controller:
+
+1. runs *headroom probes* on the links the application's inter-node
+   edges use; a headroom violation on a link whose cached capacity is
+   stale escalates to a *max-capacity probe* of that link (Fig 8's
+   "noticing a drop in the headroom capacity triggers a full probe");
+2. collects goodput/headroom *violations* on every inter-node edge;
+3. applies a *cooldown* — a component must stay in violation for a
+   configured period before it may move, so transient dips don't cause
+   migrations whose restart cost would never amortize;
+4. runs Algorithm 3 to pick a cascade-free candidate set, selects a
+   target node for each, and instructs the orchestrator to migrate.
+
+Each evaluation is recorded as a :class:`ControllerIteration`, from
+which Table 1 (candidates vs actually-migrated per iteration) and the
+migration dots on Figs 12/13 are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.orchestrator import Orchestrator
+from ..config import BassConfig
+from ..errors import MigrationError
+from ..net.netem import NetworkEmulator
+from .binding import DeploymentBinding
+from .migration import MigrationPlanner, Violation
+from .netmonitor import NetMonitor
+
+
+@dataclass
+class ControllerIteration:
+    """Record of one controller evaluation (one row of Table 1)."""
+
+    time: float
+    violations: list[Violation] = field(default_factory=list)
+    components_over_quota: int = 0
+    candidates: list[str] = field(default_factory=list)
+    migrated: list[str] = field(default_factory=list)
+    full_probes_triggered: int = 0
+
+
+class BandwidthController:
+    """Migration decision loop for one deployed application.
+
+    Args:
+        app: application name.
+        orchestrator: executes the migrations.
+        binding: deployment ↔ network synchronization and goodput source.
+        monitor: net-monitor for probing and capacity caching.
+        config: thresholds, headroom, intervals, cooldown.
+    """
+
+    def __init__(
+        self,
+        app: str,
+        orchestrator: Orchestrator,
+        binding: DeploymentBinding,
+        monitor: NetMonitor,
+        config: Optional[BassConfig] = None,
+    ) -> None:
+        self.app = app
+        self.orchestrator = orchestrator
+        self.binding = binding
+        self.monitor = monitor
+        self.config = (config if config is not None else BassConfig()).validate()
+        self.netem: NetworkEmulator = monitor.netem
+        self.planner = MigrationPlanner(
+            binding.dag,
+            goodput_threshold=self.config.migration.goodput_threshold,
+            link_utilization_threshold=(
+                self.config.migration.link_utilization_threshold
+            ),
+            headroom_fraction=self.config.migration.headroom_fraction,
+            improvement_margin=self.config.migration.improvement_margin,
+        )
+        self.iterations: list[ControllerIteration] = []
+        self._violating_since: dict[str, float] = {}
+        self._last_migrated_at: dict[str, float] = {}
+        #: Minimum residency before the same component may move again —
+        #: a guard against ping-pong under sustained congestion.  The
+        #: default sizes it so the post-restart state is observed at
+        #: least once; configs may raise it for slow-amortizing apps.
+        if self.config.migration.min_residency_s is not None:
+            self.min_residency_s = self.config.migration.min_residency_s
+        else:
+            self.min_residency_s = (
+                self.config.probe.headroom_interval_s
+                + self.config.migration.restart_seconds
+            )
+        self._task = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic evaluation on the engine."""
+        if self._task is None:
+            self._task = self.netem.engine.every(
+                self.config.probe.headroom_interval_s, self.evaluate
+            )
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    # -- one evaluation -----------------------------------------------------------
+
+    def evaluate(self) -> ControllerIteration:
+        """Run one monitoring/migration cycle; returns its record."""
+        now = self.netem.now
+        iteration = ControllerIteration(time=now)
+        deployment = self.orchestrator.deployment(self.app)
+
+        # Refresh edge flows first: demands depend on component
+        # availability (restart windows), which only this loop observes.
+        self.binding.sync_flows()
+        iteration.full_probes_triggered = self._probe_application_links()
+
+        if self.config.migrations_enabled:
+            violations = self.planner.detect_violations(
+                deployment,
+                self.netem,
+                goodput_of=self.binding.goodput,
+                achieved_mbps_of=self.binding.achieved_mbps,
+            )
+            iteration.violations = violations
+            over_quota = {v.component for v in violations} | {
+                v.dependency for v in violations
+            }
+            iteration.components_over_quota = len(over_quota)
+            candidates = self.planner.select_candidates(violations)
+            iteration.candidates = candidates
+            self._update_cooldowns(over_quota, now)
+            budget = self.config.migration.max_per_iteration
+            for component in candidates:
+                if len(iteration.migrated) >= budget:
+                    break
+                if self._try_migrate(component, deployment, now):
+                    iteration.migrated.append(component)
+                    continue
+                # The selected endpoint cannot move usefully (no target
+                # improves its edges, or it just moved).  Fall back to a
+                # violating partner — still migrating only one end of
+                # the pair, which is Algorithm 3's invariant.
+                for partner in self._violating_partners(
+                    component, violations
+                ):
+                    if partner in iteration.migrated:
+                        continue
+                    if self._try_migrate(partner, deployment, now):
+                        iteration.migrated.append(partner)
+                        break
+            if iteration.migrated:
+                self.binding.sync_flows()
+        self.iterations.append(iteration)
+        return iteration
+
+    # -- internals ----------------------------------------------------------------
+
+    def _probe_application_links(self) -> int:
+        """Headroom-probe links under the app's edges; escalate to full
+        probes when headroom is violated (capacity may have changed)."""
+        full_probes = 0
+        deployment = self.orchestrator.deployment(self.app)
+        probed: set[tuple[str, str]] = set()
+        for src, dst, _ in self.binding.inter_node_edges():
+            src_node = deployment.node_of(src)
+            dst_node = deployment.node_of(dst)
+            for a, b in self.monitor.links_of_path(src_node, dst_node):
+                if (a, b) in probed:
+                    continue
+                probed.add((a, b))
+                cached = self.monitor.cached_capacity(a, b)
+                headroom = cached * self.config.migration.headroom_fraction
+                result = self.monitor.headroom_probe(a, b, headroom)
+                if not result.headroom_ok and self.monitor.full_probe_allowed(
+                    a, b
+                ):
+                    self.monitor.full_probe(a, b)
+                    full_probes += 1
+        return full_probes
+
+    def _update_cooldowns(self, violating: set[str], now: float) -> None:
+        """Track how long each component has been continuously violating."""
+        for component in violating:
+            self._violating_since.setdefault(component, now)
+        for component in list(self._violating_since):
+            if component not in violating:
+                del self._violating_since[component]
+
+    def _cooldown_elapsed(self, component: str, now: float) -> bool:
+        since = self._violating_since.get(component)
+        if since is None:
+            # A pruned-in candidate whose own edges were fine; treat its
+            # detection time as now (cooldown starts fresh).
+            self._violating_since[component] = now
+            since = now
+        return now - since >= self.config.migration.cooldown_s
+
+    def _violating_partners(
+        self, component: str, violations: list[Violation]
+    ) -> list[str]:
+        """The other endpoints of this component's violating edges."""
+        partners: list[str] = []
+        for violation in violations:
+            if violation.component == component:
+                partners.append(violation.dependency)
+            elif violation.dependency == component:
+                partners.append(violation.component)
+        return partners
+
+    def _try_migrate(self, component: str, deployment, now: float) -> bool:
+        """All per-component gates, then the migration itself."""
+        if not self._cooldown_elapsed(component, now):
+            return False
+        if not deployment.is_available(component, now):
+            return False  # already mid-restart
+        last = self._last_migrated_at.get(component)
+        if last is not None and now - last < self.min_residency_s:
+            return False
+        if self._migrate_one(component, deployment):
+            self._last_migrated_at[component] = now
+            self._violating_since.pop(component, None)
+            return True
+        return False
+
+    def _migrate_one(self, component: str, deployment) -> bool:
+        """Pick a target and migrate; False when no suitable node exists."""
+        spec = self.binding.dag.component(component)
+        if spec.pinned_node is not None:
+            return False  # pinned components (clients) never move
+        target = self.planner.select_target(
+            component,
+            deployment,
+            self.orchestrator.cluster,
+            self.netem,
+            achieved_mbps_of=self.binding.achieved_mbps,
+        )
+        if target is None:
+            return False
+        restart = self.orchestrator.restart_seconds
+        restart += self._state_transfer_s(component, deployment, target)
+        try:
+            self.orchestrator.migrate(
+                self.app,
+                component,
+                target,
+                reason="bandwidth violation",
+                restart_override_s=restart,
+            )
+        except MigrationError:
+            return False
+        # Re-arm the edge flows the moment the restart window closes —
+        # until then the component's edges rightly carry zero demand.
+        self.netem.engine.schedule_in(restart + 1e-6, self.binding.sync_flows)
+        return True
+
+    def _state_transfer_s(
+        self, component: str, deployment, target: str
+    ) -> float:
+        """Time to ship a stateful component's checkpoint to the target
+        (§8: CRIU-style state transfer over the mesh)."""
+        state_mb = self.binding.dag.component(component).state_mb
+        if state_mb <= 0:
+            return 0.0
+        source = deployment.node_of(component)
+        rate = max(self.netem.path_available_bandwidth(source, target), 0.5)
+        return state_mb * 8.0 / rate
+
+    # -- reporting -------------------------------------------------------------------
+
+    def migration_events(self) -> list[tuple[float, str, str, str]]:
+        """(time, component, from, to) for every migration performed."""
+        deployment = self.orchestrator.deployment(self.app)
+        return [
+            (m.time, m.pod_name, m.from_node, m.to_node)
+            for m in deployment.migrations
+        ]
+
+    def table1_rows(self) -> list[tuple[int, int, int]]:
+        """(iteration #, components over quota, migrated) for iterations
+        where anything was over quota — the shape of Table 1."""
+        rows = []
+        index = 0
+        for iteration in self.iterations:
+            if iteration.components_over_quota > 0:
+                index += 1
+                rows.append(
+                    (
+                        index,
+                        iteration.components_over_quota,
+                        len(iteration.migrated),
+                    )
+                )
+        return rows

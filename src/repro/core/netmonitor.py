@@ -1,0 +1,208 @@
+"""The BASS net-monitor (§4.2).
+
+Gathers bandwidth information with two probing modes:
+
+* **Max-capacity probing** — flood a link to learn its full capacity.
+  Done once at startup for every link; results are *cached* and served
+  to the scheduler and controller until a new full probe is requested.
+  The cache is what makes Fig 8's timeline interesting: after a capacity
+  drop the controller acts on stale capacity until the full probe
+  completes.
+* **Headroom probing** — inject a small amount of traffic (10 % of the
+  cached capacity for 1 s) to check whether a required amount of spare
+  capacity exists, without flooding.
+
+Probe traffic is injected into the network emulator as real flows
+tagged ``"probe"``, so the overhead figures of §6.3.4 (0.3 % of link
+traffic for headroom probing) come out of the same accounting as
+application traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import ProbeConfig
+from ..errors import TopologyError
+from ..net.netem import NetworkEmulator
+
+#: Probe flow ids must be unique across *all* monitors sharing one
+#: emulator (one monitor per application is the normal deployment).
+_PROBE_SEQUENCE = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one probe."""
+
+    kind: str  # "full" | "headroom"
+    src: str
+    dst: str
+    time: float
+    capacity_mbps: float
+    available_mbps: float
+    headroom_ok: Optional[bool] = None
+
+
+class NetMonitor:
+    """Per-mesh bandwidth monitor with capacity caching.
+
+    Args:
+        netem: the network emulator to probe and account against.
+        config: probing parameters.
+    """
+
+    def __init__(
+        self,
+        netem: NetworkEmulator,
+        config: Optional[ProbeConfig] = None,
+    ) -> None:
+        self.netem = netem
+        self.config = config if config is not None else ProbeConfig()
+        self._capacity_cache: dict[tuple[str, str], float] = {}
+        self._cache_time: dict[tuple[str, str], float] = {}
+        self._last_full_probe: dict[tuple[str, str], float] = {}
+        self.full_probe_count = 0
+        self.headroom_probe_count = 0
+        self.probe_log: list[ProbeResult] = []
+
+    # -- probe traffic injection ---------------------------------------------
+
+    def _inject_probe_traffic(self, src: str, dst: str, rate_mbps: float) -> None:
+        """Add a short-lived probe flow so overhead is accounted."""
+        if rate_mbps <= 0 or src == dst:
+            return
+        flow_id = f"__probe_{next(_PROBE_SEQUENCE)}"
+        self.netem.add_flow(flow_id, src, dst, rate_mbps, tag="probe")
+        self.netem.engine.schedule_in(
+            self.config.probe_duration_s,
+            lambda: self.netem.remove_flow(flow_id),
+        )
+
+    # -- max-capacity probing --------------------------------------------------
+
+    def full_probe(self, src: str, dst: str) -> ProbeResult:
+        """Flood the direct link ``src -> dst`` to learn its capacity.
+
+        The measured value replaces the cache entry.  Respecting
+        ``full_probe_cooldown_s`` is the *caller's* job (the controller
+        checks :meth:`full_probe_allowed`); calling this directly always
+        probes.
+        """
+        capacity = self.netem.capacity(src, dst)
+        self._inject_probe_traffic(src, dst, capacity)
+        key = (src, dst)
+        now = self.netem.now
+        self._capacity_cache[key] = capacity
+        self._cache_time[key] = now
+        self._last_full_probe[key] = now
+        self.full_probe_count += 1
+        result = ProbeResult(
+            kind="full",
+            src=src,
+            dst=dst,
+            time=now,
+            capacity_mbps=capacity,
+            available_mbps=self.netem.available_bandwidth(src, dst),
+        )
+        self.probe_log.append(result)
+        return result
+
+    def full_probe_allowed(self, src: str, dst: str) -> bool:
+        """Whether the per-link full-probe cooldown has elapsed."""
+        last = self._last_full_probe.get((src, dst))
+        if last is None:
+            return True
+        return self.netem.now - last >= self.config.full_probe_cooldown_s
+
+    def probe_all_links(self) -> None:
+        """Startup round: max-capacity probe of every directed link (§4.2)."""
+        for src, dst, _ in self.netem.topology.iter_directed_links():
+            self.full_probe(src, dst)
+
+    # -- headroom probing ----------------------------------------------------------
+
+    def headroom_probe(
+        self, src: str, dst: str, headroom_mbps: float
+    ) -> ProbeResult:
+        """Check that ``headroom_mbps`` of spare capacity exists on the
+        direct link, injecting only a small probe (never a flood)."""
+        key = (src, dst)
+        cached = self._capacity_cache.get(key, self.netem.capacity(src, dst))
+        probe_rate = min(
+            cached * self.config.headroom_probe_fraction, headroom_mbps
+        )
+        self._inject_probe_traffic(src, dst, probe_rate)
+        available = self.netem.available_bandwidth(src, dst)
+        self.headroom_probe_count += 1
+        result = ProbeResult(
+            kind="headroom",
+            src=src,
+            dst=dst,
+            time=self.netem.now,
+            capacity_mbps=cached,
+            available_mbps=available,
+            headroom_ok=available >= headroom_mbps,
+        )
+        self.probe_log.append(result)
+        return result
+
+    # -- cached views (what the scheduler/controller believe) ---------------------
+
+    def cached_capacity(self, src: str, dst: str) -> float:
+        """Last full-probe capacity of the direct link (or live value if
+        the link was never probed)."""
+        key = (src, dst)
+        if key in self._capacity_cache:
+            return self._capacity_cache[key]
+        return self.netem.capacity(src, dst)
+
+    def cached_path_capacity(self, src: str, dst: str) -> float:
+        """Bottleneck of cached link capacities along the route."""
+        path = self.netem.router.traceroute(src, dst)
+        if len(path) == 1:
+            return float("inf")
+        return min(self.cached_capacity(a, b) for a, b in zip(path, path[1:]))
+
+    def cache_age(self, src: str, dst: str) -> float:
+        """Seconds since the link's capacity was last full-probed."""
+        key = (src, dst)
+        if key not in self._cache_time:
+            return float("inf")
+        return self.netem.now - self._cache_time[key]
+
+    def invalidate_cache(self, src: str, dst: str) -> None:
+        self._capacity_cache.pop((src, dst), None)
+        self._cache_time.pop((src, dst), None)
+
+    # -- passive measurement ----------------------------------------------------------
+
+    def goodput(self, flow_id: str) -> float:
+        """Achieved/offered fraction for an application flow (§3.2.2)."""
+        if not self.netem.has_flow(flow_id):
+            return 1.0
+        return self.netem.flow(flow_id).goodput_fraction
+
+    # -- overhead accounting (§6.3.4) ----------------------------------------------------
+
+    def probe_overhead_fraction(self) -> float:
+        """Probe traffic as a fraction of all traffic carried so far."""
+        by_tag = self.netem.offered_mbit_by_tag()
+        probe = by_tag.get("probe", 0.0)
+        total = sum(by_tag.values())
+        if total <= 0:
+            return 0.0
+        return probe / total
+
+    def links_of_path(self, src: str, dst: str) -> list[tuple[str, str]]:
+        """Directed link keys along the route (for per-link probing)."""
+        path = self.netem.router.traceroute(src, dst)
+        if len(path) == 1:
+            return []
+        return list(zip(path, path[1:]))
+
+    def validate_link(self, src: str, dst: str) -> None:
+        if not self.netem.topology.has_link(src, dst):
+            raise TopologyError(f"no direct link {src}->{dst}")

@@ -1,0 +1,262 @@
+"""Component-ordering heuristics (Algorithms 1 and 2).
+
+Both heuristics linearize the application DAG so that adjacent
+components in the output order are the ones that most benefit from
+co-location (§3.2.1): "A component ordering a, b, c implies that either
+a and b, or b and c, or all three, should be co-located."
+
+* :func:`breadth_first_order` — Algorithm 1.  A modified BFS from the
+  topologically-first component, greedily exploring edges in order of
+  decreasing *accumulated* bandwidth; suits applications with high
+  fan-out (producers next to their heaviest consumers).
+* :func:`longest_path_order` — Algorithm 2.  Repeatedly extracts the
+  most bandwidth-intensive (maximum weight-sum) path and emits its
+  components consecutively; suits linear pipelines such as the
+  frontend–service–cache–database chains of the social network.
+
+Pseudocode repairs (documented in DESIGN.md §5): Algorithm 2's listing
+backtracks with ``componentOrder.Append(nextVertex)``, which as written
+drops the path's leaf and emits the path reversed — contradicting the
+worked example in Fig 6 whose longest-path order is ``1,2,4,5,7,3,6``
+(start → leaf).  We emit the extracted path start → leaf, leaf included.
+"""
+
+from __future__ import annotations
+
+from ..errors import DagError
+from .dag import ComponentDAG
+
+
+def breadth_first_order(dag: ComponentDAG, source: str | None = None) -> list[str]:
+    """Algorithm 1: modified breadth-first traversal.
+
+    From the source (the first component in topological order), explore
+    the DAG breadth-first; the frontier queue is re-sorted before every
+    expansion by *decreasing accumulated path bandwidth* (the sum of
+    edge weights from the source), so the heaviest data paths are packed
+    first.  Disconnected or unreachable components are appended by
+    restarting from the next unvisited component in topological order,
+    so the result is always a permutation of all components.
+
+    Complexity: O((|V|+|E|) + |V|² log |V|) — the per-step queue sort
+    dominates, as the paper notes.
+
+    Args:
+        dag: validated component DAG.
+        source: optional explicit start; defaults to the topologically
+            first component.
+
+    Returns:
+        All component names, in packing order.
+    """
+    if len(dag) == 0:
+        return []
+    topo = dag.topological_sort()
+    if source is not None and source not in dag:
+        raise DagError(f"unknown source component {source!r}")
+
+    visited: set[str] = set()
+    order: list[str] = []
+    accumulated: dict[str, float] = {}
+
+    def run_from(start: str) -> None:
+        visited.add(start)
+        accumulated[start] = 0.0
+        queue: list[str] = [start]
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            deps = dag.dependencies(current)
+            # Explore edges in decreasing edge-bandwidth order.
+            for dep in sorted(deps, key=lambda d: (-deps[d], d)):
+                if dep not in visited:
+                    visited.add(dep)
+                    accumulated[dep] = accumulated[current] + deps[dep]
+                    queue.append(dep)
+            # Re-sort the frontier by decreasing accumulated bandwidth
+            # (Algorithm 1 line 8), name as deterministic tie-break.
+            queue.sort(key=lambda name: (-accumulated[name], name))
+
+    first = source if source is not None else topo[0]
+    run_from(first)
+    for name in topo:
+        if name not in visited:
+            run_from(name)
+    return order
+
+
+def _longest_paths_from(
+    dag: ComponentDAG, start: str, visited: set[str]
+) -> tuple[dict[str, str], dict[str, float]]:
+    """Weighted longest-path DP from ``start`` over unvisited vertices.
+
+    Processes vertices reachable from ``start`` in topological order, so
+    each distance is the true maximum weight-sum path ("the paths with
+    the largest sum of edge weights", §3.2.1).
+
+    Returns:
+        (parents, distance) maps over reachable unvisited vertices.
+    """
+    distance: dict[str, float] = {start: 0.0}
+    parents: dict[str, str] = {}
+    for name in dag.topological_sort():
+        if name not in distance or name in visited and name != start:
+            continue
+        for dep, weight in dag.dependencies(name).items():
+            if dep in visited:
+                continue
+            candidate = distance[name] + weight
+            if candidate > distance.get(dep, float("-inf")):
+                distance[dep] = candidate
+                parents[dep] = name
+    return parents, distance
+
+
+def longest_path_order(dag: ComponentDAG) -> list[str]:
+    """Algorithm 2: repeatedly extract the most bandwidth-intensive path.
+
+    Starting from the topologically first unvisited component, find the
+    maximum weight-sum path among unvisited vertices, emit it start→leaf,
+    mark it visited, and repeat from the next unvisited component until
+    every component is ordered.
+
+    Complexity: O(|V| (|V|+|E|)) — one traversal per extracted path.
+
+    Returns:
+        All component names, in packing order.
+    """
+    if len(dag) == 0:
+        return []
+    topo = dag.topological_sort()
+    visited: set[str] = set()
+    order: list[str] = []
+
+    def next_unvisited() -> str | None:
+        for name in topo:
+            if name not in visited:
+                return name
+        return None
+
+    start = topo[0]
+    while len(order) < len(dag):
+        parents, distance = _longest_paths_from(dag, start, visited)
+        # Farthest vertex by weight-sum; name as deterministic tie-break.
+        last = min(distance, key=lambda name: (-distance[name], name))
+        path = [last]
+        while last != start:
+            last = parents[last]
+            path.append(last)
+        path.reverse()
+        for name in path:
+            visited.add(name)
+            order.append(name)
+        nxt = next_unvisited()
+        if nxt is None:
+            break
+        start = nxt
+    return order
+
+
+def _reachable_unvisited(
+    dag: ComponentDAG, start: str, visited: set[str]
+) -> set[str]:
+    """Vertices reachable from ``start`` through unvisited vertices."""
+    region = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for dep in dag.dependencies(current):
+            if dep not in visited and dep not in region:
+                region.add(dep)
+                frontier.append(dep)
+    return region
+
+
+def _bfs_region(
+    dag: ComponentDAG, start: str, region: set[str], visited: set[str]
+) -> list[str]:
+    """Algorithm 1's traversal restricted to one region."""
+    order: list[str] = []
+    accumulated = {start: 0.0}
+    visited.add(start)
+    queue = [start]
+    while queue:
+        current = queue.pop(0)
+        order.append(current)
+        deps = dag.dependencies(current)
+        for dep in sorted(deps, key=lambda d: (-deps[d], d)):
+            if dep in region and dep not in visited:
+                visited.add(dep)
+                accumulated[dep] = accumulated[current] + deps[dep]
+                queue.append(dep)
+        queue.sort(key=lambda name: (-accumulated[name], name))
+    return order
+
+
+def hybrid_order(
+    dag: ComponentDAG, *, fanout_threshold: int = 3
+) -> list[str]:
+    """§8's suggested combination of the two heuristics.
+
+    "It is possible that a subgraph of the application may have high
+    fanout, and another part could be a deeper pipeline.  A potential
+    avenue of future research is combining the two heuristics depending
+    on the application specifics."
+
+    The order is built region by region: from the topologically first
+    unvisited component, examine the reachable unvisited region.  A
+    region whose widest fan-out reaches ``fanout_threshold`` is ordered
+    breadth-first (producers packed next to their heaviest consumers);
+    otherwise the most bandwidth-intensive path is extracted, exactly
+    one Algorithm 2 step, and the remainder is re-examined — so a DAG
+    that starts as a pipeline and ends in a fan-out is handled by the
+    right heuristic on each part.
+
+    Returns:
+        All component names, in packing order (a permutation).
+    """
+    if fanout_threshold < 1:
+        raise DagError("fanout_threshold must be >= 1")
+    if len(dag) == 0:
+        return []
+    topo = dag.topological_sort()
+    visited: set[str] = set()
+    order: list[str] = []
+
+    while len(order) < len(dag):
+        start = next(name for name in topo if name not in visited)
+        region = _reachable_unvisited(dag, start, visited)
+        max_fanout = max(
+            sum(1 for dep in dag.dependencies(name) if dep in region)
+            for name in region
+        )
+        if max_fanout >= fanout_threshold:
+            order.extend(_bfs_region(dag, start, region, visited))
+        else:
+            parents, distance = _longest_paths_from(dag, start, visited)
+            last = min(distance, key=lambda name: (-distance[name], name))
+            path = [last]
+            while last != start:
+                last = parents[last]
+                path.append(last)
+            path.reverse()
+            for name in path:
+                visited.add(name)
+                order.append(name)
+    return order
+
+
+def order_components(dag: ComponentDAG, heuristic: str) -> list[str]:
+    """Dispatch on the configured heuristic name (§3.2.1 leaves the
+    choice of heuristic to the developer; ``hybrid`` implements §8's
+    proposed combination)."""
+    if heuristic == "bfs":
+        return breadth_first_order(dag)
+    if heuristic == "longest_path":
+        return longest_path_order(dag)
+    if heuristic == "hybrid":
+        return hybrid_order(dag)
+    raise DagError(
+        f"unknown ordering heuristic {heuristic!r} "
+        "(expected 'bfs', 'longest_path', or 'hybrid')"
+    )

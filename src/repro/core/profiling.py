@@ -1,0 +1,153 @@
+"""Online bandwidth profiling (§8 future work).
+
+The paper's BASS takes bandwidth requirements "gathered through
+independent offline profiling" and notes that "determining the
+bandwidth requirements of every component pair is cumbersome work for
+the developer.  As a part of future work, we plan to introduce
+automated online profiling for gathering bandwidth requirements once
+an application has been deployed."
+
+:class:`OnlineProfiler` implements that plan: it passively samples
+every edge's *offered* traffic (demand, not the throttled allocation —
+profiling during congestion must not bake the congestion into the
+requirement), keeps a sliding window per edge, and produces a
+requirement estimate at a configurable percentile with a safety
+multiplier.  ``apply()`` rewrites the DAG's annotations in place, so
+the next controller evaluation and any re-scheduling use the learned
+values.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .binding import DeploymentBinding
+
+
+@dataclass(frozen=True)
+class EdgeProfile:
+    """Learned traffic statistics for one edge."""
+
+    src: str
+    dst: str
+    samples: int
+    mean_mbps: float
+    p95_mbps: float
+    peak_mbps: float
+    estimate_mbps: float
+
+
+class OnlineProfiler:
+    """Passively learns per-edge bandwidth requirements.
+
+    Args:
+        binding: the deployed application's network binding to observe.
+        window: sliding-window length in samples per edge.
+        percentile: requirement percentile over the window (the paper's
+            offline profiling records "maximum bandwidth requirements";
+            95 is a robust stand-in for max under bursty traffic).
+        safety_factor: multiplier applied to the percentile, providing
+            the same role as manual over-provisioning.
+        min_samples: estimates are withheld until an edge has this many
+            samples (a cold profiler must not zero out annotations).
+
+    Example:
+        >>> # profiler = OnlineProfiler(binding)
+        >>> # engine.every(1.0, profiler.sample)
+        >>> # ... later: profiler.apply()
+    """
+
+    def __init__(
+        self,
+        binding: DeploymentBinding,
+        *,
+        window: int = 300,
+        percentile: float = 95.0,
+        safety_factor: float = 1.2,
+        min_samples: int = 30,
+    ) -> None:
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        if not 0 < percentile <= 100:
+            raise ConfigError("percentile must be in (0, 100]")
+        if safety_factor <= 0:
+            raise ConfigError("safety_factor must be positive")
+        if min_samples < 1:
+            raise ConfigError("min_samples must be >= 1")
+        self.binding = binding
+        self.window = window
+        self.percentile = percentile
+        self.safety_factor = safety_factor
+        self.min_samples = min_samples
+        self._samples: dict[tuple[str, str], deque[float]] = {
+            (src, dst): deque(maxlen=window)
+            for src, dst, _ in binding.dag.edges()
+        }
+        self.sample_count = 0
+
+    # -- observation -----------------------------------------------------
+
+    def sample(self) -> None:
+        """Record every edge's current offered demand (one tick)."""
+        for key in self._samples:
+            self._samples[key].append(self.binding.edge_demand(*key))
+        self.sample_count += 1
+
+    def edge_profile(self, src: str, dst: str) -> Optional[EdgeProfile]:
+        """The learned profile for an edge (None while under-sampled)."""
+        window = self._samples.get((src, dst))
+        if window is None or len(window) < self.min_samples:
+            return None
+        values = np.asarray(window)
+        p95 = float(np.percentile(values, self.percentile))
+        return EdgeProfile(
+            src=src,
+            dst=dst,
+            samples=len(window),
+            mean_mbps=float(values.mean()),
+            p95_mbps=p95,
+            peak_mbps=float(values.max()),
+            estimate_mbps=p95 * self.safety_factor,
+        )
+
+    def profiles(self) -> list[EdgeProfile]:
+        """Profiles for every sufficiently-sampled edge."""
+        result = []
+        for src, dst in self._samples:
+            profile = self.edge_profile(src, dst)
+            if profile is not None:
+                result.append(profile)
+        return result
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self) -> dict[tuple[str, str], float]:
+        """Rewrite the DAG's bandwidth annotations from learned profiles.
+
+        Only edges with enough samples are updated; a zero-traffic edge
+        keeps a tiny positive requirement so the controller does not
+        divide by zero.  Returns the updates applied.
+        """
+        updates: dict[tuple[str, str], float] = {}
+        dag = self.binding.dag
+        for profile in self.profiles():
+            estimate = max(profile.estimate_mbps, 0.01)
+            dag.update_weight(profile.src, profile.dst, estimate)
+            updates[(profile.src, profile.dst)] = estimate
+        return updates
+
+    def coverage(self) -> float:
+        """Fraction of edges with enough samples to estimate."""
+        if not self._samples:
+            return 1.0
+        ready = sum(
+            1
+            for window in self._samples.values()
+            if len(window) >= self.min_samples
+        )
+        return ready / len(self._samples)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the BASS reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class DagError(ReproError):
+    """An application component graph is malformed (cycle, dangling edge,
+    duplicate component, bad weight)."""
+
+
+class CycleError(DagError):
+    """The component graph contains a cycle and is therefore not a DAG."""
+
+
+class UnknownComponentError(DagError):
+    """A component name was referenced that does not exist in the DAG."""
+
+
+class TopologyError(ReproError):
+    """The mesh topology is malformed (unknown node, duplicate link,
+    non-positive capacity)."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between two nodes (network partition)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a feasible placement."""
+
+
+class InsufficientCapacityError(SchedulingError):
+    """Aggregate node resources cannot accommodate the application."""
+
+
+class MigrationError(ReproError):
+    """A migration could not be carried out."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. scheduling an
+    event in the past, running a stopped engine)."""
+
+
+class TraceError(ReproError):
+    """A bandwidth trace is malformed or does not cover a requested time."""

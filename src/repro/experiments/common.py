@@ -1,0 +1,229 @@
+"""Shared experiment harness.
+
+Assembles the full stack — topology, engine, network emulator, cluster
+ledger, orchestrator — and wires an application through scheduling,
+deployment, flow binding, monitoring, and (optionally) the bandwidth
+controller.  Every scenario module builds on these helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..apps.base import Application
+from ..cluster.k3s import K3sScheduler
+from ..cluster.orchestrator import ClusterState, Orchestrator
+from ..config import BassConfig
+from ..core.binding import DeploymentBinding
+from ..core.controller import BandwidthController
+from ..core.dag import ComponentDAG
+from ..core.netmonitor import NetMonitor
+from ..core.scheduler import BassScheduler
+from ..errors import ConfigError
+from ..mesh.topology import MeshTopology, citylab_subset
+from ..net.netem import NetworkEmulator
+from ..sim.engine import Engine
+from ..sim.rng import RngStreams
+
+#: Scheduler names accepted throughout the experiment harness.
+SCHEDULER_NAMES = ("k3s", "bass-bfs", "bass-longest-path", "bass-hybrid")
+
+
+@dataclass
+class ExperimentEnv:
+    """The assembled substrate for one experiment run."""
+
+    topology: MeshTopology
+    engine: Engine
+    netem: NetworkEmulator
+    cluster: ClusterState
+    orchestrator: Orchestrator
+    rng: RngStreams
+
+
+@dataclass
+class AppHandle:
+    """One deployed application and its BASS machinery."""
+
+    app: Application
+    dag: ComponentDAG
+    binding: DeploymentBinding
+    monitor: NetMonitor
+    controller: Optional[BandwidthController] = None
+    assignments: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def deployment(self):
+        return self.binding.deployment
+
+
+def build_env(
+    topology: Optional[MeshTopology] = None,
+    *,
+    seed: int = 0,
+    with_traces: bool = True,
+    trace_duration_s: float = 1200.0,
+    buffer_mbit: float = 25.0,
+    tick_s: float = 1.0,
+    restart_seconds: float = 20.0,
+) -> ExperimentEnv:
+    """Assemble an experiment substrate.
+
+    Args:
+        topology: mesh to run on; defaults to the 5-node CityLab subset.
+        seed: master seed for all randomness (traces, workloads, jitter).
+        with_traces: only used when building the default topology.
+        trace_duration_s: length of generated traces.
+        buffer_mbit: per-link queue buffer (raise for bufferbloat-heavy
+            scenarios like the social-network mesh runs).
+        tick_s: fluid-model step.
+        restart_seconds: migration restart cost.
+    """
+    rng = RngStreams(seed)
+    if topology is None:
+        topology = citylab_subset(
+            with_traces=with_traces,
+            trace_duration_s=trace_duration_s,
+            rng=rng.get("traces"),
+        )
+    engine = Engine()
+    netem = NetworkEmulator(
+        topology, engine=engine, tick_s=tick_s, buffer_mbit=buffer_mbit
+    )
+    cluster = ClusterState.from_topology(topology)
+    orchestrator = Orchestrator(
+        cluster, engine=engine, restart_seconds=restart_seconds
+    )
+    return ExperimentEnv(
+        topology=topology,
+        engine=engine,
+        netem=netem,
+        cluster=cluster,
+        orchestrator=orchestrator,
+        rng=rng,
+    )
+
+
+def schedule_with(
+    scheduler_name: str,
+    dag: ComponentDAG,
+    env: ExperimentEnv,
+) -> dict[str, str]:
+    """Run the named scheduler over a DAG; commits resource allocations."""
+    if scheduler_name == "k3s":
+        return K3sScheduler().schedule(dag.to_pods(), env.cluster)
+    if scheduler_name == "bass-bfs":
+        return BassScheduler("bfs").schedule(dag, env.cluster, env.netem)
+    if scheduler_name == "bass-longest-path":
+        return BassScheduler("longest_path").schedule(
+            dag, env.cluster, env.netem
+        )
+    if scheduler_name == "bass-hybrid":
+        return BassScheduler("hybrid").schedule(dag, env.cluster, env.netem)
+    raise ConfigError(
+        f"unknown scheduler {scheduler_name!r}; expected one of "
+        f"{SCHEDULER_NAMES}"
+    )
+
+
+def deploy_app(
+    env: ExperimentEnv,
+    app: Application,
+    scheduler_name: str,
+    *,
+    config: Optional[BassConfig] = None,
+    start_controller: bool = True,
+    force_assignments: Optional[dict[str, str]] = None,
+) -> AppHandle:
+    """Schedule, deploy, bind flows, and (optionally) arm the controller.
+
+    Args:
+        env: the substrate from :func:`build_env`.
+        app: the workload model.
+        scheduler_name: ``"k3s"``, ``"bass-bfs"``, or
+            ``"bass-longest-path"``.
+        config: BASS configuration; defaults reproduce §4's values.
+            ``config.migrations_enabled=False`` gives the no-migration
+            baselines even with the controller armed.
+        start_controller: arm the periodic controller evaluation.
+        force_assignments: skip scheduling and place components exactly
+            here (used by experiments that pin the initial deployment,
+            e.g. "the Pion server is initially deployed on node 2").
+            Unlisted components raise; resources are committed.
+    """
+    config = (config if config is not None else BassConfig()).validate()
+    dag = app.build_dag()
+    if force_assignments is not None:
+        assignments = {}
+        for pod in dag.to_pods():
+            node = (
+                pod.pinned_node
+                if pod.pinned_node is not None
+                else force_assignments[pod.name]
+            )
+            env.cluster.node(node).allocate(pod.resources)
+            assignments[pod.name] = node
+    else:
+        assignments = schedule_with(scheduler_name, dag, env)
+    deployment = env.orchestrator.deploy(dag.to_pods(), assignments)
+    binding = DeploymentBinding(dag, deployment, env.netem)
+    app.on_deployed(binding)
+    binding.sync_flows()
+    monitor = NetMonitor(env.netem, config.probe)
+    monitor.probe_all_links()
+    controller = BandwidthController(
+        dag.app, env.orchestrator, binding, monitor, config
+    )
+    if start_controller:
+        controller.start()
+    return AppHandle(
+        app=app,
+        dag=dag,
+        binding=binding,
+        monitor=monitor,
+        controller=controller,
+        assignments=assignments,
+    )
+
+
+def run_timeline(
+    env: ExperimentEnv,
+    duration_s: float,
+    *,
+    on_tick: Optional[Callable[[float], None]] = None,
+    tick_s: float = 1.0,
+    events: Sequence[tuple[float, Callable[[], None]]] = (),
+) -> None:
+    """Drive the experiment clock.
+
+    Args:
+        env: substrate (its emulator is started if not already).
+        duration_s: horizon.
+        on_tick: called once per ``tick_s`` with the current time —
+            scenarios use it to update demands and sample metrics.  It
+            runs *after* the emulator's own fluid tick at equal times
+            (the emulator's periodic task is armed first).
+        tick_s: observer period.
+        events: (time, callback) one-shot events, e.g. imposing and
+            lifting a ``tc`` throttle.
+    """
+    env.netem.start()
+    if on_tick is not None:
+        env.engine.every(tick_s, lambda: on_tick(env.engine.now))
+    for time, callback in events:
+        env.engine.schedule_at(time, callback)
+    env.engine.run_until(duration_s)
+
+
+def set_node_egress_limit(
+    env: ExperimentEnv, node: str, limit_mbps: Optional[float]
+) -> None:
+    """tc-style throttle of every outgoing direction at ``node`` (Fig 3).
+
+    Passing None lifts the restriction.
+    """
+    for peer in env.topology.neighbors(node):
+        env.topology.link(node, peer).set_rate_limit(
+            limit_mbps, src=node, dst=peer
+        )

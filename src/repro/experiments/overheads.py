@@ -1,0 +1,161 @@
+"""System-overhead measurements: Table 3, Table 4, and §6.3.4's
+probing-overhead accounting.
+
+Absolute times are host-dependent (the paper measured Go schedulers on
+CloudLab VMs; we measure Python on whatever runs the benchmark), so the
+reproducible shapes are the *comparisons*: BASS's per-component latency
+is within a small factor of k3s's, DAG processing grows with component
+count and stays in the tens of milliseconds, and probing overhead stays
+a fraction of a percent of traffic.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from ..apps.camera import CameraPipelineApp
+from ..apps.social import SocialNetworkApp
+from ..apps.video import VideoConferenceApp
+from ..cluster.k3s import K3sScheduler
+from ..cluster.orchestrator import ClusterState
+from ..core.dag import ComponentDAG
+from ..core.ordering import order_components
+from ..core.scheduler import BassScheduler
+from ..mesh.topology import citylab_subset
+from ..net.netem import NetworkEmulator
+
+APP_BUILDERS = {
+    "social_network": lambda: SocialNetworkApp(annotate_rps=50.0).build_dag(),
+    "video_conference": lambda: VideoConferenceApp.conference_at_nodes(
+        ["node1", "node2", "node3", "node4"], 3
+    ).build_dag(),
+    "camera": lambda: CameraPipelineApp().build_dag(),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """Per-component scheduling latency for one (app, scheduler) cell."""
+
+    app: str
+    scheduler: str
+    avg_ms: float
+    std_ms: float
+    components: int
+
+
+def _fresh_cluster() -> tuple[ClusterState, NetworkEmulator]:
+    topology = citylab_subset(with_traces=False)
+    return ClusterState.from_topology(topology), NetworkEmulator(topology)
+
+
+def _time_schedule(dag: ComponentDAG, scheduler_name: str) -> float:
+    """Wall time of one scheduling pass, seconds."""
+    cluster, netem = _fresh_cluster()
+    start = time.perf_counter()
+    if scheduler_name == "k3s":
+        K3sScheduler().schedule(dag.to_pods(), cluster)
+    else:
+        BassScheduler("longest_path").schedule(dag, cluster, netem)
+    return time.perf_counter() - start
+
+
+def table3_scheduling_latency(*, trials: int = 20) -> list[Table3Row]:
+    """Table 3: per-component scheduling latency, k3s vs BASS.
+
+    The paper reports ~1.3 ms (k3s) vs 1.3–1.5 ms (BASS) per component —
+    i.e. BASS's whole-DAG scheduling adds little per-component cost.
+    """
+    rows = []
+    for app_name, builder in APP_BUILDERS.items():
+        dag = builder()
+        schedulable = sum(
+            1 for c in dag.components if c.pinned_node is None
+        )
+        for scheduler in ("k3s", "bass"):
+            samples = []
+            for _ in range(trials):
+                elapsed = _time_schedule(builder(), scheduler)
+                samples.append(elapsed / max(len(dag), 1) * 1000.0)
+            rows.append(
+                Table3Row(
+                    app=app_name,
+                    scheduler=scheduler,
+                    avg_ms=statistics.mean(samples),
+                    std_ms=statistics.stdev(samples) if trials > 1 else 0.0,
+                    components=schedulable,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """DAG processing (ordering heuristic) time for one application."""
+
+    app: str
+    components: int
+    avg_ms: float
+    std_ms: float
+
+
+def table4_dag_processing(*, trials: int = 50) -> list[Table4Row]:
+    """Table 4: one-time DAG processing cost per application.
+
+    Paper: social 63.9 ms (27 comps) > camera 30.6 ms (5) > video
+    26.3 ms (1).  The reproducible shape: cost grows with graph size and
+    stays far below the minutes-scale cadence of bandwidth changes.
+    """
+    rows = []
+    for app_name, builder in APP_BUILDERS.items():
+        dag = builder()
+        samples = []
+        for _ in range(trials):
+            start = time.perf_counter()
+            order_components(dag, "bfs")
+            order_components(dag, "longest_path")
+            samples.append((time.perf_counter() - start) * 1000.0)
+        rows.append(
+            Table4Row(
+                app=app_name,
+                components=len(dag),
+                avg_ms=statistics.mean(samples),
+                std_ms=statistics.stdev(samples) if trials > 1 else 0.0,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class ProbeOverheadResult:
+    """Probing overhead share of total traffic (§6.3.4)."""
+
+    probe_fraction: float
+    full_probes: int
+    headroom_probes: int
+
+
+def probing_overhead(
+    *, duration_s: float = 600.0, seed: int = 63
+) -> ProbeOverheadResult:
+    """§6.3.4: probe traffic as a fraction of all carried traffic while
+    the social network runs on the CityLab mesh with a 30 s cadence.
+    The paper measures ~0.3 %; headroom probes dominate, full probes
+    are rare."""
+    from ..apps.social import SocialNetworkApp
+    from ..config import BassConfig
+    from .common import build_env, deploy_app, run_timeline
+
+    env = build_env(seed=seed, trace_duration_s=duration_s)
+    app = SocialNetworkApp(annotate_rps=50.0)
+    handle = deploy_app(env, app, "bass-longest-path", config=BassConfig())
+    app.set_rps(50.0)
+    app.update_demands(handle.binding, 0.0)
+    run_timeline(env, duration_s)
+    return ProbeOverheadResult(
+        probe_fraction=handle.monitor.probe_overhead_fraction(),
+        full_probes=handle.monitor.full_probe_count,
+        headroom_probes=handle.monitor.headroom_probe_count,
+    )

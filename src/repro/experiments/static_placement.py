@@ -1,0 +1,254 @@
+"""Static initial-placement experiments: Fig 10, Fig 11, Table 2.
+
+* Fig 10 — camera pipeline on a 3-node LAN, no bandwidth limits:
+  end-to-end latency and placements per scheduler.
+* Fig 11 — social network p99 latency vs request rate on a 4-node LAN,
+  with and without one node throttled to 25 Mbps.
+* Table 2 — camera pipeline on the emulated CityLab mesh, with and
+  without bandwidth variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.camera import CameraPipelineApp, CameraProfile
+from ..apps.social import SocialNetworkApp
+from ..config import BassConfig
+from ..mesh.topology import citylab_subset, full_mesh_topology
+from ..mesh.traces import BandwidthTrace
+from ..sim.rng import RngStreams
+from .common import build_env, deploy_app, run_timeline, set_node_egress_limit
+
+SCHEDULERS = ("bass-bfs", "bass-longest-path", "k3s")
+
+
+# -- Fig 10 ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig10Row:
+    """Latency and placement of one scheduler (one box of Fig 10)."""
+
+    scheduler: str
+    mean_latency_ms: float
+    median_latency_ms: float
+    placement: dict[str, str]
+    inter_node_chain_hops: int
+
+
+def _microbenchmark_camera_app() -> CameraPipelineApp:
+    """Camera profile sized for the 16-core microbenchmark nodes: the
+    whole pipeline (22 cores) cannot share one node, so placement
+    choices matter — as they did on the paper's c6525 machines."""
+    return CameraPipelineApp(
+        CameraProfile(), sampler_cpu=6.0, detector_cpu=10.0
+    )
+
+
+def _camera_chain_hops(placement: dict[str, str]) -> int:
+    chain = ["camera-stream", "frame-sampler", "object-detector", "image-listener"]
+    return sum(
+        1
+        for a, b in zip(chain, chain[1:])
+        if placement[a] != placement[b]
+    )
+
+
+def fig10_camera_static(
+    *,
+    duration_s: float = 120.0,
+    seed: int = 10,
+    schedulers: tuple[str, ...] = SCHEDULERS,
+) -> list[Fig10Row]:
+    """Fig 10: camera latency per scheduler on an unconstrained LAN.
+
+    The paper's means are 410 (BFS) / 428 (longest-path) / 433 (k3s) ms;
+    the reproducible shape is that bandwidth-aware packing co-locates
+    the heavy stream→sampler edge and crosses the network fewer times
+    along the critical chain than k3s's least-allocated spreading.
+    """
+    rows = []
+    for scheduler in schedulers:
+        topology = full_mesh_topology(
+            3, capacity_mbps=1000.0, cpu_cores=16.0, memory_mb=131072.0
+        )
+        env = build_env(topology, seed=seed)
+        app = _microbenchmark_camera_app()
+        handle = deploy_app(
+            env,
+            app,
+            scheduler,
+            config=BassConfig(migrations_enabled=False),
+            start_controller=False,
+        )
+        rng = env.rng.get(f"camera-{scheduler}")
+        latencies: list[float] = []
+
+        def sample(t: float) -> None:
+            latencies.extend(
+                app.sample_latencies_s(handle.binding, 5, rng)
+            )
+
+        run_timeline(env, duration_s, on_tick=sample)
+        array = np.asarray(latencies) * 1000.0
+        rows.append(
+            Fig10Row(
+                scheduler=scheduler,
+                mean_latency_ms=float(array.mean()),
+                median_latency_ms=float(np.median(array)),
+                placement=dict(handle.assignments),
+                inter_node_chain_hops=_camera_chain_hops(handle.assignments),
+            )
+        )
+    return rows
+
+
+# -- Fig 11 -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig11Cell:
+    """p99 latency for one (scheduler, rps, restricted?) configuration."""
+
+    scheduler: str
+    rps: float
+    restricted: bool
+    p99_latency_s: float
+    mean_latency_s: float
+
+
+def fig11_socialnet_p99(
+    *,
+    rates: tuple[float, ...] = (100.0, 200.0, 300.0),
+    restricted_values: tuple[bool, ...] = (False, True),
+    throttle_mbps: float = 25.0,
+    duration_s: float = 150.0,
+    seed: int = 11,
+    schedulers: tuple[str, ...] = ("bass-longest-path", "k3s"),
+) -> list[Fig11Cell]:
+    """Fig 11: social-network p99 vs RPS, unrestricted and restricted.
+
+    4-node LAN of 4-core machines (the paper's d710s).  In the
+    restricted variant one worker's egress is capped at 25 Mbps before
+    deployment; the throttled node is chosen per-scheduler as the node
+    k3s is about to load with hot services — the paper throttles "one
+    node" and observes k3s two orders of magnitude worse at 200–300 RPS.
+    """
+    cells = []
+    for scheduler in schedulers:
+        for restricted in restricted_values:
+            for rps in rates:
+                topology = full_mesh_topology(
+                    4, capacity_mbps=1000.0, cpu_cores=4.0, memory_mb=12288.0
+                )
+                env = build_env(topology, seed=seed, buffer_mbit=200.0)
+                if restricted:
+                    set_node_egress_limit(env, "node2", throttle_mbps)
+                app = SocialNetworkApp(annotate_rps=rps)
+                handle = deploy_app(
+                    env,
+                    app,
+                    scheduler,
+                    config=BassConfig(migrations_enabled=False),
+                    start_controller=False,
+                )
+                app.set_rps(rps)
+                app.update_demands(handle.binding, 0.0)
+                rng = env.rng.get(f"lat-{scheduler}-{rps}-{restricted}")
+                latencies: list[float] = []
+
+                def sample(t: float) -> None:
+                    latencies.extend(
+                        app.sample_latencies_s(handle.binding, 8, rng)
+                    )
+
+                run_timeline(env, duration_s, on_tick=sample)
+                array = np.asarray(latencies)
+                cells.append(
+                    Fig11Cell(
+                        scheduler=scheduler,
+                        rps=rps,
+                        restricted=restricted,
+                        p99_latency_s=float(np.percentile(array, 99)),
+                        mean_latency_s=float(array.mean()),
+                    )
+                )
+    return cells
+
+
+# -- Table 2 -----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Median camera latency for one (scenario, scheduler) cell."""
+
+    scenario: str  # "no_variation" | "with_variation"
+    scheduler: str
+    median_latency_ms: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    migrations: int
+
+
+def table2_camera_mesh(
+    *,
+    duration_s: float = 1200.0,
+    seed: int = 22,
+    schedulers: tuple[str, ...] = SCHEDULERS,
+) -> list[Table2Row]:
+    """Table 2: camera on the emulated CityLab mesh, ± bandwidth variation.
+
+    "No variation" fixes every link at the maximum value observed in its
+    trace (the paper's baseline); "with variation" replays the traces.
+    Paper medians (ms): BFS 540/538, longest-path 551/552, k3s 577/692 —
+    i.e. k3s inflates ~20 % under variation while BASS is flat.
+    """
+    rows = []
+    for scenario in ("no_variation", "with_variation"):
+        for scheduler in schedulers:
+            rng = RngStreams(seed).get("traces")
+            topology = citylab_subset(
+                with_traces=True, trace_duration_s=duration_s, rng=rng
+            )
+            if scenario == "no_variation":
+                for link in topology.links:
+                    a, b = link.id
+                    peak = max(
+                        link.capacity(a, b, float(t))
+                        for t in np.arange(0, duration_s, 10.0)
+                    )
+                    link.set_trace(BandwidthTrace.constant(peak))
+            env = build_env(topology, seed=seed)
+            app = CameraPipelineApp()  # §6.3.1 sizes: sampler 4, detector 8
+            handle = deploy_app(
+                env,
+                app,
+                scheduler,
+                config=BassConfig(),  # migrations on, paper saw none trigger
+                start_controller=scheduler != "k3s",
+            )
+            latency_rng = env.rng.get(f"cam-{scenario}-{scheduler}")
+            latencies: list[float] = []
+
+            def sample(t: float) -> None:
+                latencies.extend(
+                    app.sample_latencies_s(handle.binding, 3, latency_rng)
+                )
+
+            run_timeline(env, duration_s, on_tick=sample)
+            array = np.asarray(latencies) * 1000.0
+            rows.append(
+                Table2Row(
+                    scenario=scenario,
+                    scheduler=scheduler,
+                    median_latency_ms=float(np.median(array)),
+                    mean_latency_ms=float(array.mean()),
+                    p95_latency_ms=float(np.percentile(array, 95)),
+                    migrations=len(handle.deployment.migrations),
+                )
+            )
+    return rows

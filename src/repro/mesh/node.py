@@ -1,0 +1,53 @@
+"""Compute nodes participating in the mesh.
+
+Community meshes mix heterogeneous hardware — Raspberry Pis, desktops,
+server-grade machines (§3.1).  A node advertises CPU cores and memory;
+one node is usually designated the control plane and excluded from
+workload placement, matching the paper's CloudLab setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class MeshNode:
+    """A compute node attached to the wireless mesh.
+
+    Attributes:
+        name: unique identifier, e.g. ``"node1"``.
+        cpu_cores: allocatable CPU cores.
+        memory_mb: allocatable memory in MiB.
+        role: ``"worker"`` for schedulable nodes, ``"control"`` for the
+            node hosting the orchestrator control plane (never receives
+            application components, mirroring §6.3's setup).
+        labels: free-form metadata (kept for parity with Kubernetes node
+            labels; selectors may match on it).
+    """
+
+    name: str
+    cpu_cores: float = 4.0
+    memory_mb: float = 8192.0
+    role: str = "worker"
+    labels: dict[str, str] = field(default_factory=dict, hash=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("node name must be non-empty")
+        if self.cpu_cores <= 0:
+            raise TopologyError(f"node {self.name}: cpu_cores must be positive")
+        if self.memory_mb <= 0:
+            raise TopologyError(f"node {self.name}: memory_mb must be positive")
+        if self.role not in ("worker", "control"):
+            raise TopologyError(
+                f"node {self.name}: role must be 'worker' or 'control', "
+                f"got {self.role!r}"
+            )
+
+    @property
+    def schedulable(self) -> bool:
+        """Whether application components may be placed here."""
+        return self.role == "worker"

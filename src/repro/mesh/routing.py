@@ -1,0 +1,140 @@
+"""Decentralized routing over the mesh.
+
+BASS deliberately does not control routing (§1): ad-hoc mesh protocols
+route packets however they like, and BASS only requires that the network
+stay connected.  We model the common case — shortest-path (minimum hop)
+routing, as established protocols like OLSR/Babel converge to — and
+expose the two primitives the paper's net-monitor uses:
+
+* ``traceroute(src, dst)`` — the node path a packet takes (§4.2 uses the
+  real traceroute for this);
+* ``bottleneck_bandwidth(src, dst, t)`` — "the capacity of the node pair
+  [is] the bottleneck link along the path" (§4.2).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import RoutingError, TopologyError
+from .link import Link
+from .topology import MeshTopology
+
+
+class Router:
+    """Mesh path computation with deterministic tie-breaking.
+
+    Two strategies, selected by ``strategy``:
+
+    * ``"min_hop"`` (default) — shortest path by hop count, the common
+      fixed point of OLSR/Babel-style protocols.  Ties break
+      lexicographically.
+    * ``"widest"`` — the path maximizing the bottleneck link's *base*
+      capacity (then fewest hops, then lexicographic).  Models
+      bandwidth-aware mesh routing (e.g. ETX-weighted variants); paths
+      are chosen from base capacities so routing stays stable while
+      capacities fluctuate, matching BASS's assumption that it cannot
+      steer routing in real time (§1).
+
+    Paths are computed once and cached; :meth:`invalidate` clears the
+    cache after a topology change.
+    """
+
+    STRATEGIES = ("min_hop", "widest")
+
+    def __init__(
+        self, topology: MeshTopology, *, strategy: str = "min_hop"
+    ) -> None:
+        if strategy not in self.STRATEGIES:
+            raise TopologyError(
+                f"unknown routing strategy {strategy!r}; "
+                f"expected one of {self.STRATEGIES}"
+            )
+        self._topology = topology
+        self.strategy = strategy
+        self._path_cache: dict[tuple[str, str], list[str]] = {}
+
+    @property
+    def topology(self) -> MeshTopology:
+        return self._topology
+
+    def invalidate(self) -> None:
+        """Drop cached paths (call after adding nodes or links)."""
+        self._path_cache.clear()
+
+    def traceroute(self, src: str, dst: str) -> list[str]:
+        """The node path from ``src`` to ``dst``, inclusive of both ends.
+
+        Raises:
+            RoutingError: if the mesh is partitioned between the nodes.
+        """
+        for name in (src, dst):
+            if name not in self._topology:
+                raise TopologyError(f"unknown node {name!r}")
+        if src == dst:
+            return [src]
+        key = (src, dst)
+        if key not in self._path_cache:
+            self._path_cache[key] = self._shortest_path(src, dst)
+        return list(self._path_cache[key])
+
+    def _shortest_path(self, src: str, dst: str) -> list[str]:
+        if self.strategy == "widest":
+            return self._widest_path(src, dst)
+        graph = self._topology.graph()
+        try:
+            paths = nx.all_shortest_paths(graph, src, dst)
+            return min(paths)  # lexicographic tie-break for determinism
+        except nx.NetworkXNoPath:
+            raise RoutingError(
+                f"mesh is partitioned: no route {src!r} -> {dst!r}"
+            ) from None
+
+    def _widest_path(self, src: str, dst: str) -> list[str]:
+        """Maximize the path's bottleneck base capacity (then hop count,
+        then lexicographic order) via exhaustive simple-path search —
+        meshes are tens of nodes (§3.1), so this stays cheap."""
+        graph = self._topology.graph()
+        if not nx.has_path(graph, src, dst):
+            raise RoutingError(
+                f"mesh is partitioned: no route {src!r} -> {dst!r}"
+            )
+        best: tuple[float, int, list[str]] | None = None
+        for path in nx.all_simple_paths(graph, src, dst):
+            width = min(
+                self._topology.link(a, b).base_capacity(a, b)
+                for a, b in zip(path, path[1:])
+            )
+            key = (-width, len(path), path)
+            if best is None or key < best:
+                best = key
+        return best[2]
+
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        """Links along the route, in traversal order."""
+        path = self.traceroute(src, dst)
+        return [
+            self._topology.link(a, b) for a, b in zip(path, path[1:])
+        ]
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Number of wireless hops between the nodes (0 if same node)."""
+        return len(self.traceroute(src, dst)) - 1
+
+    def bottleneck_bandwidth(self, src: str, dst: str, t: float) -> float:
+        """Path capacity = minimum directed link capacity along the route.
+
+        Co-located endpoints communicate over loopback; we report
+        infinity for that case so callers can treat it as unconstrained.
+        """
+        path = self.traceroute(src, dst)
+        if len(path) == 1:
+            return float("inf")
+        return min(
+            self._topology.link(a, b).capacity(a, b, t)
+            for a, b in zip(path, path[1:])
+        )
+
+    def path_latency_ms(self, src: str, dst: str) -> float:
+        """Sum of one-way propagation latencies along the route."""
+        return sum(link.latency_ms for link in self.path_links(src, dst))

@@ -1,0 +1,362 @@
+"""Mesh topology: the graph of nodes and wireless links.
+
+Includes builders for the topologies used throughout the paper:
+
+* :func:`citylab_subset` — the 5-node subset of the CityLab testbed used
+  for the emulated-mesh evaluation (§6.3, Fig 15a): one control-plane
+  node plus four heterogeneous workers joined by wireless links.
+* :func:`line_topology` / :func:`star_topology` — the small LAN setups
+  of the motivation and microbenchmark experiments (Fig 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..errors import TopologyError
+from .link import Link, LinkId, link_id
+from .node import MeshNode
+from .tracegen import citylab_link_trace
+
+
+class MeshTopology:
+    """A set of mesh nodes and the wireless links joining them.
+
+    The topology is the single source of truth for instantaneous link
+    capacity; the network emulator, router, and net-monitor all query it.
+
+    Example:
+        >>> topo = MeshTopology()
+        >>> topo.add_node(MeshNode("a"))
+        >>> topo.add_node(MeshNode("b"))
+        >>> _ = topo.add_link("a", "b", capacity_mbps=10.0)
+        >>> topo.capacity("a", "b", t=0.0)
+        10.0
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, MeshNode] = {}
+        self._links: dict[LinkId, Link] = {}
+        self._adjacency: dict[str, set[str]] = {}
+
+    # -- nodes ----------------------------------------------------------
+
+    def add_node(self, node: MeshNode) -> None:
+        if node.name in self._nodes:
+            raise TopologyError(f"duplicate node {node.name!r}")
+        self._nodes[node.name] = node
+        self._adjacency[node.name] = set()
+
+    def node(self, name: str) -> MeshNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    @property
+    def nodes(self) -> list[MeshNode]:
+        return list(self._nodes.values())
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def worker_names(self) -> list[str]:
+        return [n.name for n in self._nodes.values() if n.schedulable]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- links ----------------------------------------------------------
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        capacity_mbps: float,
+        *,
+        latency_ms: float = 2.0,
+    ) -> Link:
+        for name in (a, b):
+            if name not in self._nodes:
+                raise TopologyError(f"unknown node {name!r} in link {a}-{b}")
+        lid = link_id(a, b)
+        if lid in self._links:
+            raise TopologyError(f"duplicate link {lid}")
+        link = Link(a, b, capacity_mbps, latency_ms=latency_ms)
+        self._links[lid] = link
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        try:
+            return self._links[link_id(a, b)]
+        except KeyError:
+            raise TopologyError(f"no link between {a!r} and {b!r}") from None
+
+    def has_link(self, a: str, b: str) -> bool:
+        return link_id(a, b) in self._links
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def neighbors(self, name: str) -> set[str]:
+        try:
+            return set(self._adjacency[name])
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def capacity(self, src: str, dst: str, t: float) -> float:
+        """Instantaneous capacity of the direct link ``src -> dst``."""
+        return self.link(src, dst).capacity(src, dst, t)
+
+    def iter_directed_links(self) -> Iterator[tuple[str, str, Link]]:
+        """Yield (src, dst, link) for both directions of every link."""
+        for link in self._links.values():
+            a, b = link.id
+            yield a, b, link
+            yield b, a, link
+
+    # -- derived views ---------------------------------------------------
+
+    def graph(self) -> nx.Graph:
+        """An undirected networkx view (hop-count weights)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        graph.add_edges_from(self._links)
+        return graph
+
+    def is_connected(self) -> bool:
+        """BASS assumes no partitions (§3.1) — check the assumption."""
+        if not self._nodes:
+            return True
+        return nx.is_connected(self.graph())
+
+    def total_link_capacity(self, name: str, t: float) -> float:
+        """Sum of outgoing capacity across all of a node's links.
+
+        §3.2.1 ranks nodes partly by "combined capacity across all of the
+        node's links".
+        """
+        return sum(
+            self.link(name, peer).capacity(name, peer, t)
+            for peer in self._adjacency.get(name, ())
+        )
+
+
+    # -- serialization ---------------------------------------------------
+
+    def to_spec(self) -> dict:
+        """A JSON-serializable description of nodes and links.
+
+        Traces and rate limits are runtime state and are not included.
+        """
+        return {
+            "nodes": [
+                {
+                    "name": node.name,
+                    "cpu_cores": node.cpu_cores,
+                    "memory_mb": node.memory_mb,
+                    "role": node.role,
+                }
+                for node in self.nodes
+            ],
+            "links": [
+                {
+                    "a": link.id[0],
+                    "b": link.id[1],
+                    "capacity_mbps": link.base_capacity(*link.id),
+                    "latency_ms": link.latency_ms,
+                }
+                for link in self.links
+            ],
+        }
+
+    @staticmethod
+    def from_spec(spec: dict) -> "MeshTopology":
+        """Build a topology from a :meth:`to_spec`-shaped dict.
+
+        Lets deployments describe their community mesh in a plain JSON
+        file::
+
+            {"nodes": [{"name": "roof-1", "cpu_cores": 4}, ...],
+             "links": [{"a": "roof-1", "b": "roof-2",
+                        "capacity_mbps": 18.5}, ...]}
+        """
+        try:
+            node_specs = spec["nodes"]
+            link_specs = spec.get("links", [])
+        except (TypeError, KeyError):
+            raise TopologyError("spec must be a dict with a 'nodes' list") from None
+        topo = MeshTopology()
+        for node_spec in node_specs:
+            try:
+                topo.add_node(
+                    MeshNode(
+                        name=node_spec["name"],
+                        cpu_cores=node_spec.get("cpu_cores", 4.0),
+                        memory_mb=node_spec.get("memory_mb", 8192.0),
+                        role=node_spec.get("role", "worker"),
+                    )
+                )
+            except (TypeError, KeyError):
+                raise TopologyError(
+                    f"malformed node spec {node_spec!r}"
+                ) from None
+        for link_spec in link_specs:
+            try:
+                topo.add_link(
+                    link_spec["a"],
+                    link_spec["b"],
+                    capacity_mbps=link_spec["capacity_mbps"],
+                    latency_ms=link_spec.get("latency_ms", 2.0),
+                )
+            except (TypeError, KeyError):
+                raise TopologyError(
+                    f"malformed link spec {link_spec!r}"
+                ) from None
+        return topo
+
+    @staticmethod
+    def from_json(path) -> "MeshTopology":
+        """Load a topology from a JSON file of :meth:`to_spec` shape."""
+        import json
+
+        with open(path) as handle:
+            return MeshTopology.from_spec(json.load(handle))
+
+
+# -- topology builders -----------------------------------------------------
+
+#: Mean link capacities (Mbps) of the 5-node CityLab subset (Fig 15a).
+#: The figure's printed values are not machine-readable in the paper PDF,
+#: so these are plausible values consistent with the text: node3-node4 is
+#: the 25 Mbps link exercised in Fig 8; node1 is well connected (clients
+#: there see the best bitrates in Fig 15b); node2 sits behind the weakest
+#: links (240 Kbps bitrates without migration).  Documented in DESIGN.md.
+CITYLAB_LINK_MEANS: dict[tuple[str, str], float] = {
+    ("node1", "node2"): 19.9,
+    ("node1", "node3"): 15.0,
+    ("node1", "node4"): 12.0,
+    ("node2", "node3"): 7.62,
+    ("node3", "node4"): 25.0,
+}
+
+#: Variability class of each CityLab link (drives trace generation).
+CITYLAB_LINK_VARIABILITY: dict[tuple[str, str], str] = {
+    ("node1", "node2"): "low",
+    ("node1", "node3"): "moderate",
+    ("node1", "node4"): "moderate",
+    ("node2", "node3"): "high",
+    ("node3", "node4"): "moderate",
+}
+
+
+def citylab_subset(
+    *,
+    with_traces: bool = False,
+    trace_duration_s: float = 1200.0,
+    rng: Optional[np.random.Generator] = None,
+    control_node: bool = True,
+) -> MeshTopology:
+    """The 5-node CityLab subset of §6.3 (Fig 15a).
+
+    Four heterogeneous workers (8 GB RAM; nodes 1–3 have 12 cores,
+    node 4 has 8, per §6.3) plus an optional control-plane node attached
+    to node1 over a fast link.
+
+    Args:
+        with_traces: attach CityLab-style synthetic traces to every link
+            (otherwise links hold their static mean capacity).
+        trace_duration_s: length of the generated traces.
+        rng: random generator for trace synthesis.
+        control_node: include ``node0`` running the control plane.
+    """
+    topo = MeshTopology()
+    core_counts = {"node1": 12, "node2": 12, "node3": 12, "node4": 8}
+    for name, cores in core_counts.items():
+        topo.add_node(MeshNode(name, cpu_cores=cores, memory_mb=8192))
+    if control_node:
+        topo.add_node(MeshNode("node0", cpu_cores=4, memory_mb=8192, role="control"))
+        topo.add_link("node0", "node1", capacity_mbps=100.0, latency_ms=1.0)
+    rng = rng if rng is not None else np.random.default_rng(42)
+    for (a, b), mean in CITYLAB_LINK_MEANS.items():
+        link = topo.add_link(a, b, capacity_mbps=mean, latency_ms=2.0)
+        if with_traces:
+            variability = CITYLAB_LINK_VARIABILITY[(a, b)]
+            trace = citylab_link_trace(
+                mean, trace_duration_s, variability=variability, rng=rng
+            )
+            link.set_trace(trace)
+    return topo
+
+
+def line_topology(
+    capacities_mbps: Iterable[float] = (1000.0, 1000.0),
+    *,
+    cpu_cores: float = 16.0,
+    memory_mb: float = 131072.0,
+) -> MeshTopology:
+    """A chain node1 - node2 - ... used in the motivation setup (Fig 3).
+
+    The default mirrors the 3-node bridged-LAN cluster: 1 Gbps links that
+    the experiment later throttles with ``tc``.
+    """
+    capacities = list(capacities_mbps)
+    topo = MeshTopology()
+    for i in range(len(capacities) + 1):
+        topo.add_node(
+            MeshNode(f"node{i + 1}", cpu_cores=cpu_cores, memory_mb=memory_mb)
+        )
+    for i, capacity in enumerate(capacities):
+        topo.add_link(f"node{i + 1}", f"node{i + 2}", capacity_mbps=capacity)
+    return topo
+
+
+def full_mesh_topology(
+    n_nodes: int,
+    capacity_mbps: float = 1000.0,
+    *,
+    cpu_cores: float = 16.0,
+    memory_mb: float = 131072.0,
+) -> MeshTopology:
+    """A complete graph — models the microbenchmarks' bridged LAN, where
+    every node can reach every other at full speed (§6.2.1)."""
+    if n_nodes < 2:
+        raise TopologyError("full mesh needs at least 2 nodes")
+    topo = MeshTopology()
+    for i in range(n_nodes):
+        topo.add_node(
+            MeshNode(f"node{i + 1}", cpu_cores=cpu_cores, memory_mb=memory_mb)
+        )
+    names = topo.node_names
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            topo.add_link(a, b, capacity_mbps=capacity_mbps, latency_ms=0.5)
+    return topo
+
+
+def star_topology(
+    n_leaves: int,
+    capacity_mbps: float = 100.0,
+    *,
+    hub: str = "hub",
+    cpu_cores: float = 8.0,
+    memory_mb: float = 8192.0,
+) -> MeshTopology:
+    """A hub-and-spoke mesh, a common shape for small community deployments."""
+    if n_leaves < 1:
+        raise TopologyError("star needs at least 1 leaf")
+    topo = MeshTopology()
+    topo.add_node(MeshNode(hub, cpu_cores=cpu_cores, memory_mb=memory_mb))
+    for i in range(n_leaves):
+        name = f"leaf{i + 1}"
+        topo.add_node(MeshNode(name, cpu_cores=cpu_cores, memory_mb=memory_mb))
+        topo.add_link(hub, name, capacity_mbps=capacity_mbps)
+    return topo

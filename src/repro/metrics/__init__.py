@@ -1,0 +1,13 @@
+"""Measurement utilities: time-series collection and summaries."""
+
+from .collector import MetricsCollector, TimeSeries
+from .summary import cdf_points, percentile, rolling_mean, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "TimeSeries",
+    "cdf_points",
+    "percentile",
+    "rolling_mean",
+    "summarize",
+]

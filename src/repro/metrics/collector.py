@@ -1,0 +1,96 @@
+"""Prometheus-flavoured time-series collection.
+
+The paper logs inter-pod traffic and latency samples into Prometheus
+and queries them over HTTP (§5).  Here, experiment code records samples
+into named :class:`TimeSeries` (with optional label sets) and queries
+them back for summaries; series export to CSV for external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass
+class TimeSeries:
+    """One named series of (time, value) samples with fixed labels."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def values_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    def times_array(self) -> np.ndarray:
+        return np.asarray(self.times, dtype=float)
+
+    def between(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series with start <= time < end."""
+        subset = TimeSeries(self.name, self.labels)
+        for t, v in zip(self.times, self.values):
+            if start <= t < end:
+                subset.record(t, v)
+        return subset
+
+    def mean(self) -> float:
+        return float(self.values_array().mean()) if self.values else float("nan")
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the series as ``time_s,value`` rows with a header."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time_s", "value"])
+            writer.writerows(zip(self.times, self.values))
+
+
+class MetricsCollector:
+    """Registry of time series, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._series: dict[tuple[str, tuple[tuple[str, str], ...]], TimeSeries] = {}
+
+    def series(self, name: str, **labels: str) -> TimeSeries:
+        """Get (creating if needed) the series for a name + label set."""
+        key = (name, tuple(sorted(labels.items())))
+        if key not in self._series:
+            self._series[key] = TimeSeries(name, key[1])
+        return self._series[key]
+
+    def record(self, name: str, time: float, value: float, **labels: str) -> None:
+        self.series(name, **labels).record(time, value)
+
+    def all_series(self, name: str) -> list[TimeSeries]:
+        """Every label variant recorded under ``name``."""
+        return [s for (n, _), s in self._series.items() if n == name]
+
+    def names(self) -> set[str]:
+        return {name for name, _ in self._series}
+
+    def export_dir(self, directory: str | Path) -> list[Path]:
+        """Write every series to ``directory`` as one CSV per series.
+
+        Filenames are ``<name>[__k-v...].csv``; returns the paths.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for (name, labels), series in self._series.items():
+            suffix = "__".join(f"{k}-{v}" for k, v in labels)
+            filename = f"{name}__{suffix}.csv" if suffix else f"{name}.csv"
+            path = directory / filename
+            series.to_csv(path)
+            written.append(path)
+        return written

@@ -1,0 +1,75 @@
+"""Statistical summaries used in the paper's plots and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]); NaN on empty input."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute the summary statistics the paper reports (mean, p99, ...)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan)
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        p50=float(np.percentile(array, 50)),
+        p95=float(np.percentile(array, 95)),
+        p99=float(np.percentile(array, 99)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: (sorted values, cumulative fractions in (0, 1]).
+
+    The return shape matches what Figs 14(a)/(b) plot.
+    """
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        return array, array
+    fractions = np.arange(1, array.size + 1) / array.size
+    return array, fractions
+
+
+def rolling_mean(
+    times: Sequence[float], values: Sequence[float], window_s: float
+) -> np.ndarray:
+    """Trailing-window rolling mean over irregularly-sampled data."""
+    t = np.asarray(list(times), dtype=float)
+    v = np.asarray(list(values), dtype=float)
+    out = np.empty_like(v)
+    left = 0
+    for i in range(len(v)):
+        while t[left] < t[i] - window_s:
+            left += 1
+        out[i] = v[left : i + 1].mean()
+    return out

@@ -1,0 +1,123 @@
+"""Demand-bounded max-min fair bandwidth allocation.
+
+Implements progressive filling (water-filling): all unsatisfied flows'
+rates grow at the same pace; a flow stops growing when it reaches its
+demand or when any link on its path saturates.  The result is the unique
+max-min fair allocation, which is:
+
+* *feasible* — no link carries more than its capacity,
+* *demand-bounded* — no flow exceeds what it asked for,
+* *max-min fair* — a flow's rate can only be increased by decreasing
+  the rate of a flow with an already-smaller rate.
+
+This is the fluid-level idealization of what per-flow fair queueing (or
+long-run TCP) gives competing streams, and is the allocation model the
+emulator recomputes whenever demands or capacities change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Sequence
+
+_EPSILON = 1e-9
+
+LinkKey = tuple[str, str]
+"""Directed link identifier: (src node, dst node)."""
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """A flow's routing and demand, as seen by the allocator.
+
+    Attributes:
+        flow_id: caller-chosen identifier.
+        links: directed links the flow traverses, in order.  An empty
+            sequence means the endpoints are co-located (loopback): the
+            flow is granted its full demand.
+        demand_mbps: offered load in Mbps.
+    """
+
+    flow_id: Hashable
+    links: tuple[LinkKey, ...] = field(default_factory=tuple)
+    demand_mbps: float = 0.0
+
+
+def max_min_allocation(
+    flows: Sequence[FlowDemand],
+    capacities: Mapping[LinkKey, float],
+) -> dict[Hashable, float]:
+    """Compute the demand-bounded max-min fair rates for ``flows``.
+
+    Args:
+        flows: flow demands; flows whose paths reference a link absent
+            from ``capacities`` raise ``KeyError`` (a wiring bug).
+        capacities: directed link capacities in Mbps.
+
+    Returns:
+        Mapping from flow id to allocated rate in Mbps.
+    """
+    rates: dict[Hashable, float] = {f.flow_id: 0.0 for f in flows}
+    remaining = {key: float(cap) for key, cap in capacities.items()}
+
+    active: dict[Hashable, FlowDemand] = {}
+    for flow in flows:
+        if flow.demand_mbps <= _EPSILON:
+            continue
+        if not flow.links:
+            rates[flow.flow_id] = flow.demand_mbps  # loopback
+            continue
+        for key in flow.links:
+            if key not in remaining:
+                raise KeyError(f"flow {flow.flow_id!r} uses unknown link {key}")
+        active[flow.flow_id] = flow
+
+    while active:
+        flows_on_link: dict[LinkKey, int] = {}
+        for flow in active.values():
+            for key in flow.links:
+                flows_on_link[key] = flows_on_link.get(key, 0) + 1
+
+        # Largest uniform increment every active flow can take.
+        delta = min(
+            remaining[key] / count for key, count in flows_on_link.items()
+        )
+        delta = min(
+            delta,
+            min(
+                flow.demand_mbps - rates[fid]
+                for fid, flow in active.items()
+            ),
+        )
+        delta = max(delta, 0.0)
+
+        for fid, flow in active.items():
+            rates[fid] += delta
+        for key, count in flows_on_link.items():
+            remaining[key] -= delta * count
+
+        # Retire satisfied flows, then flows pinned by a saturated link.
+        satisfied = [
+            fid
+            for fid, flow in active.items()
+            if rates[fid] >= flow.demand_mbps - _EPSILON
+        ]
+        for fid in satisfied:
+            del active[fid]
+        saturated = {
+            key
+            for key, cap in remaining.items()
+            if cap <= _EPSILON and flows_on_link.get(key)
+        }
+        if saturated:
+            pinned = [
+                fid
+                for fid, flow in active.items()
+                if any(key in saturated for key in flow.links)
+            ]
+            for fid in pinned:
+                del active[fid]
+        elif not satisfied and delta <= _EPSILON:
+            break  # numerical dead-end; all remaining rates stay put
+
+    return rates

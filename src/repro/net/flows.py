@@ -1,0 +1,46 @@
+"""Flow records tracked by the network emulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .fairness import LinkKey
+
+
+@dataclass
+class Flow:
+    """A fluid traffic flow between two mesh nodes.
+
+    Attributes:
+        flow_id: unique identifier within the emulator.
+        src: source node name.
+        dst: destination node name.
+        demand_mbps: current offered load.
+        path: node path the flow is routed on (from traceroute).
+        links: directed link keys derived from ``path``.
+        tag: origin label — ``"app"`` for application traffic,
+            ``"probe"`` for net-monitor probes — used when accounting
+            monitoring overhead (§6.3.4).
+        allocated_mbps: rate granted by the last max-min computation.
+    """
+
+    flow_id: str
+    src: str
+    dst: str
+    demand_mbps: float
+    path: list[str] = field(default_factory=list)
+    links: tuple[LinkKey, ...] = ()
+    tag: str = "app"
+    allocated_mbps: float = 0.0
+
+    @property
+    def colocated(self) -> bool:
+        """True when src and dst are the same node (loopback traffic)."""
+        return self.src == self.dst
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Achieved / offered rate — the paper's goodput signal (§3.2.2)."""
+        if self.demand_mbps <= 0:
+            return 1.0
+        return min(1.0, self.allocated_mbps / self.demand_mbps)

@@ -1,0 +1,304 @@
+"""The network emulator: traces + flows + fairness + queues on one clock.
+
+:class:`NetworkEmulator` is the substrate equivalent of the paper's
+CloudLab emulation (§6.3): link capacities follow attached bandwidth
+traces (or ``tc``-style rate limits), application traffic is registered
+as fluid flows, and every tick the emulator
+
+1. reads each directed link's instantaneous capacity from the topology,
+2. recomputes the demand-bounded max-min fair allocation,
+3. advances the per-link fluid queues (overload → delay → loss), and
+4. accumulates traffic accounting per tag (app vs probe overhead).
+
+Everything the rest of the system observes about the network — achieved
+rates, goodput, available headroom, path delay, loss — is a query
+against this object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError, TopologyError
+from ..mesh.routing import Router
+from ..mesh.topology import MeshTopology
+from ..sim.engine import Engine
+from .fairness import FlowDemand, LinkKey, max_min_allocation
+from .flows import Flow
+from .queues import LinkQueue
+
+
+class NetworkEmulator:
+    """Fluid network emulation over a mesh topology.
+
+    Args:
+        topology: the mesh whose links carry the traffic.
+        engine: simulation engine providing the clock; a fresh one is
+            created if omitted.
+        router: route computation; defaults to min-hop over ``topology``.
+        tick_s: fluid-model step (1 s matches the paper's trace rate).
+        buffer_mbit: per-direction link buffer size.
+
+    Example:
+        >>> from repro.mesh import line_topology
+        >>> topo = line_topology([10.0])
+        >>> emu = NetworkEmulator(topo)
+        >>> _ = emu.add_flow("f1", "node1", "node2", demand_mbps=4.0)
+        >>> emu.recompute()
+        >>> emu.flow("f1").allocated_mbps
+        4.0
+    """
+
+    def __init__(
+        self,
+        topology: MeshTopology,
+        *,
+        engine: Optional[Engine] = None,
+        router: Optional[Router] = None,
+        tick_s: float = 1.0,
+        buffer_mbit: float = 25.0,
+    ) -> None:
+        if tick_s <= 0:
+            raise SimulationError("tick_s must be positive")
+        self.topology = topology
+        self.engine = engine if engine is not None else Engine()
+        self.router = router if router is not None else Router(topology)
+        self.tick_s = tick_s
+        self._flows: dict[str, Flow] = {}
+        self._queues: dict[LinkKey, LinkQueue] = {
+            (src, dst): LinkQueue(buffer_mbit)
+            for src, dst, _ in topology.iter_directed_links()
+        }
+        self._offered_mbit_by_tag: dict[str, float] = {}
+        self._ticker = None
+        self._dirty = True
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the periodic fluid-model tick on the engine."""
+        if self._ticker is None:
+            self._ticker = self.engine.every(self.tick_s, self.tick)
+
+    def stop(self) -> None:
+        if self._ticker is not None:
+            self._ticker.stop()
+            self._ticker = None
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- flow management --------------------------------------------------
+
+    def add_flow(
+        self,
+        flow_id: str,
+        src: str,
+        dst: str,
+        demand_mbps: float,
+        *,
+        tag: str = "app",
+    ) -> Flow:
+        """Register a fluid flow; its route is fixed until rerouted."""
+        if flow_id in self._flows:
+            raise SimulationError(f"duplicate flow id {flow_id!r}")
+        if demand_mbps < 0:
+            raise SimulationError("demand_mbps must be >= 0")
+        path = self.router.traceroute(src, dst)
+        links = tuple(zip(path, path[1:]))
+        flow = Flow(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            demand_mbps=demand_mbps,
+            path=path,
+            links=links,
+            tag=tag,
+        )
+        self._flows[flow_id] = flow
+        self._dirty = True
+        return flow
+
+    def remove_flow(self, flow_id: str) -> None:
+        if flow_id in self._flows:
+            del self._flows[flow_id]
+            self._dirty = True
+
+    def has_flow(self, flow_id: str) -> bool:
+        return flow_id in self._flows
+
+    def flow(self, flow_id: str) -> Flow:
+        try:
+            return self._flows[flow_id]
+        except KeyError:
+            raise SimulationError(f"unknown flow {flow_id!r}") from None
+
+    @property
+    def flows(self) -> list[Flow]:
+        return list(self._flows.values())
+
+    def set_demand(self, flow_id: str, demand_mbps: float) -> None:
+        if demand_mbps < 0:
+            raise SimulationError("demand_mbps must be >= 0")
+        self.flow(flow_id).demand_mbps = demand_mbps
+        self._dirty = True
+
+    def reroute_flow(self, flow_id: str, src: str, dst: str) -> Flow:
+        """Move a flow's endpoints (after a component migration)."""
+        old = self.flow(flow_id)
+        self.remove_flow(flow_id)
+        return self.add_flow(
+            flow_id, src, dst, old.demand_mbps, tag=old.tag
+        )
+
+    # -- fluid model ------------------------------------------------------
+
+    def _capacities_now(self) -> dict[LinkKey, float]:
+        t = self.now
+        return {
+            (src, dst): link.capacity(src, dst, t)
+            for src, dst, link in self.topology.iter_directed_links()
+        }
+
+    def capacities_now(self) -> dict[LinkKey, float]:
+        """Instantaneous capacity of every directed link (what-if input)."""
+        return self._capacities_now()
+
+    def recompute(self) -> None:
+        """Recompute the max-min allocation for the current instant."""
+        capacities = self._capacities_now()
+        demands = [
+            FlowDemand(
+                flow_id=fid,
+                links=flow.links,
+                demand_mbps=flow.demand_mbps,
+            )
+            for fid, flow in self._flows.items()
+        ]
+        rates = max_min_allocation(demands, capacities)
+        for fid, flow in self._flows.items():
+            flow.allocated_mbps = rates.get(fid, 0.0)
+        self._dirty = False
+
+    def tick(self) -> None:
+        """Advance queues by one step and refresh the allocation."""
+        capacities = self._capacities_now()
+        offered: dict[LinkKey, float] = {key: 0.0 for key in self._queues}
+        for flow in self._flows.values():
+            for key in flow.links:
+                offered[key] += flow.demand_mbps
+            self._offered_mbit_by_tag[flow.tag] = (
+                self._offered_mbit_by_tag.get(flow.tag, 0.0)
+                + flow.demand_mbps * self.tick_s * max(len(flow.links), 0)
+            )
+        for key, queue in self._queues.items():
+            queue.update(self.tick_s, offered[key], capacities[key])
+        self.recompute()
+
+    def _ensure_fresh(self) -> None:
+        if self._dirty:
+            self.recompute()
+
+    # -- queries ----------------------------------------------------------
+
+    def capacity(self, src: str, dst: str) -> float:
+        """Instantaneous directed capacity of the direct link src->dst."""
+        return self.topology.capacity(src, dst, self.now)
+
+    def link_allocated(self, src: str, dst: str) -> float:
+        """Sum of allocated rates crossing the directed link."""
+        self._ensure_fresh()
+        key = (src, dst)
+        return sum(
+            flow.allocated_mbps
+            for flow in self._flows.values()
+            if key in flow.links
+        )
+
+    def link_offered(self, src: str, dst: str) -> float:
+        """Sum of offered demand crossing the directed link."""
+        key = (src, dst)
+        return sum(
+            flow.demand_mbps
+            for flow in self._flows.values()
+            if key in flow.links
+        )
+
+    def link_utilization(self, src: str, dst: str) -> float:
+        """Allocated / capacity for the directed link (0 on a dead link)."""
+        capacity = self.capacity(src, dst)
+        if capacity <= 0:
+            return 0.0
+        return self.link_allocated(src, dst) / capacity
+
+    def available_bandwidth(self, src: str, dst: str) -> float:
+        """Spare capacity on the direct link: capacity minus allocation."""
+        return max(0.0, self.capacity(src, dst) - self.link_allocated(src, dst))
+
+    def path_available_bandwidth(self, src: str, dst: str) -> float:
+        """Bottleneck spare capacity along the route (inf if co-located)."""
+        path = self.router.traceroute(src, dst)
+        if len(path) == 1:
+            return float("inf")
+        return min(
+            self.available_bandwidth(a, b) for a, b in zip(path, path[1:])
+        )
+
+    def path_capacity(self, src: str, dst: str) -> float:
+        """Bottleneck total capacity along the route (inf if co-located)."""
+        return self.router.bottleneck_bandwidth(src, dst, self.now)
+
+    def queue_delay_s(self, src: str, dst: str) -> float:
+        """Current queueing delay on the directed link."""
+        key = (src, dst)
+        if key not in self._queues:
+            raise TopologyError(f"no link {src}->{dst}")
+        return self._queues[key].delay_s(self.capacity(src, dst))
+
+    def queue(self, src: str, dst: str) -> LinkQueue:
+        key = (src, dst)
+        if key not in self._queues:
+            raise TopologyError(f"no link {src}->{dst}")
+        return self._queues[key]
+
+    def path_delay_s(self, src: str, dst: str) -> float:
+        """One-way path delay: propagation plus queueing at each hop."""
+        path = self.router.traceroute(src, dst)
+        if len(path) == 1:
+            return 0.0
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self.topology.link(a, b).latency_ms / 1000.0
+            total += self.queue_delay_s(a, b)
+        return total
+
+    def path_loss_fraction(self, src: str, dst: str) -> float:
+        """Compound loss across the route's queues (last tick)."""
+        path = self.router.traceroute(src, dst)
+        if len(path) == 1:
+            return 0.0
+        delivered = 1.0
+        for a, b in zip(path, path[1:]):
+            delivered *= 1.0 - self._queues[(a, b)].last_loss_fraction
+        return 1.0 - delivered
+
+    def transfer_time_s(self, src: str, dst: str, megabits: float) -> float:
+        """Time to push ``megabits`` at the path's current spare rate.
+
+        Used by request-level latency models for per-RPC payloads.  A
+        co-located pair transfers at memory speed (modelled as 0).
+        """
+        if megabits <= 0:
+            return 0.0
+        path = self.router.traceroute(src, dst)
+        if len(path) == 1:
+            return 0.0
+        rate = self.path_available_bandwidth(src, dst)
+        rate = max(rate, 0.01)  # a starved path still trickles
+        return megabits / rate
+
+    def offered_mbit_by_tag(self) -> dict[str, float]:
+        """Cumulative link-traversal traffic per tag — overhead accounting
+        for §6.3.4 (probe traffic as a share of all traffic)."""
+        return dict(self._offered_mbit_by_tag)

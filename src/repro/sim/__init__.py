@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate.
+
+The engine drives every emulated-mesh experiment: trace replay ticks,
+probe cycles, controller evaluations, application traffic, and migrations
+are all events on one clock.
+"""
+
+from .engine import Engine, PeriodicTask, ScheduledEvent
+from .rng import RngStreams
+
+__all__ = ["Engine", "PeriodicTask", "ScheduledEvent", "RngStreams"]

@@ -1,0 +1,191 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are callbacks scheduled at absolute simulation times and executed
+in time order; ties break by insertion order so runs are reproducible.
+There are no threads and no wall-clock dependence — a run is a pure
+function of the initial state and the RNG seed.
+
+Example:
+    >>> engine = Engine()
+    >>> fired = []
+    >>> _ = engine.schedule_at(2.0, lambda: fired.append(engine.now))
+    >>> _ = engine.schedule_at(1.0, lambda: fired.append(engine.now))
+    >>> engine.run_until(5.0)
+    >>> fired
+    [1.0, 2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the queue.  Ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+
+class PeriodicTask:
+    """A callback re-armed every ``interval`` seconds until stopped.
+
+    The callback runs first at ``start + interval`` (or ``start`` when
+    ``fire_immediately`` is set).  Stopping is idempotent.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        interval: float,
+        callback: Callback,
+        *,
+        fire_immediately: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError("periodic interval must be positive")
+        self._engine = engine
+        self._interval = interval
+        self._callback = callback
+        self._stopped = False
+        first_delay = 0.0 if fire_immediately else interval
+        self._event: Optional[ScheduledEvent] = engine.schedule_in(
+            first_delay, self._fire
+        )
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop future firings; a currently queued event is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._engine.schedule_in(self._interval, self._fire)
+
+
+class Engine:
+    """Deterministic event loop with an absolute float clock (seconds)."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (not yet executed or cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        """Total events executed since construction."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: Callback) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callback) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def every(
+        self, interval: float, callback: Callback, *, fire_immediately: bool = False
+    ) -> PeriodicTask:
+        """Arm a :class:`PeriodicTask` firing every ``interval`` seconds."""
+        return PeriodicTask(
+            self, interval, callback, fire_immediately=fire_immediately
+        )
+
+    def run_until(self, end_time: float) -> None:
+        """Execute events in order until the clock reaches ``end_time``.
+
+        The clock is left exactly at ``end_time``, even if the queue drains
+        earlier, so periodic observers can rely on a fixed horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} is before now={self._now}"
+            )
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run)")
+        self._running = True
+        try:
+            while self._queue and self._queue[0].time <= end_time:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self._processed += 1
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def run_all(self, *, max_events: int = 10_000_000) -> None:
+        """Run until the queue is empty (or ``max_events`` is hit)."""
+        if self._running:
+            raise SimulationError("engine is already running (reentrant run)")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"run_all exceeded max_events={max_events}"
+                    )
+                self._now = event.time
+                event.callback()
+                self._processed += 1
+                executed += 1
+        finally:
+            self._running = False

@@ -1,0 +1,38 @@
+"""CLI smoke tests: every experiment is listable and runnable."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_every_benchmark_has_a_cli_entry(self):
+        expected = {
+            "fig2", "fig4", "fig5", "fig8", "fig10", "fig11", "fig12",
+            "fig13", "fig14a", "fig14b", "fig14cd", "fig15b", "fig16",
+            "table1", "table2", "table3", "table4",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    @pytest.mark.parametrize(
+        "experiment", ["fig2", "fig10", "table1", "table4"]
+    )
+    def test_run_quick(self, experiment, capsys):
+        assert main(["run", experiment, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert experiment in out
+        assert "---" in out  # a table was printed
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig999"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

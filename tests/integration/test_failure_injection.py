@@ -1,0 +1,162 @@
+"""Failure injection: the system degrades predictably, never silently.
+
+BASS assumes "no partitioning of the network and/or node failures"
+(§1) — these tests pin down what happens at and beyond that boundary:
+partitions raise, dead-capacity links starve flows without crashing the
+fluid model, infeasible migrations are refused, and the controller
+survives evaluation cycles in every such state.
+"""
+
+import pytest
+
+from repro.apps.social import SocialNetworkApp
+from repro.cluster.resources import ResourceSpec
+from repro.config import BassConfig
+from repro.core.dag import Component, ComponentDAG
+from repro.errors import (
+    InsufficientCapacityError,
+    MigrationError,
+    RoutingError,
+)
+from repro.experiments.common import build_env, deploy_app, run_timeline
+from repro.mesh.node import MeshNode
+from repro.mesh.topology import MeshTopology, full_mesh_topology
+
+
+class TestPartitions:
+    def test_partitioned_flow_raises(self):
+        topology = full_mesh_topology(2)
+        topology.add_node(MeshNode("island"))
+        env = build_env(topology, seed=41)
+        with pytest.raises(RoutingError):
+            env.netem.add_flow("f", "node1", "island", 1.0)
+
+    def test_scheduling_survives_unreachable_node(self):
+        """An isolated node is still schedulable (BASS only requires
+        connectivity for the *used* paths); placement puts connected
+        components together."""
+        topology = full_mesh_topology(2, cpu_cores=16.0)
+        topology.add_node(MeshNode("island", cpu_cores=16.0))
+        env = build_env(topology, seed=41)
+        dag = ComponentDAG("app")
+        dag.add_component(Component("a", cpu=2))
+        dag.add_component(Component("b", cpu=2))
+        dag.add_dependency("a", "b", 5.0)
+        from repro.core.scheduler import BassScheduler
+
+        assignments = BassScheduler("bfs").schedule(
+            dag, env.cluster, env.netem
+        )
+        assert assignments["a"] == assignments["b"]
+
+
+class TestDeadLinks:
+    def test_near_zero_capacity_starves_not_crashes(self):
+        topology = full_mesh_topology(2, capacity_mbps=10.0)
+        env = build_env(topology, seed=42)
+        env.netem.add_flow("f", "node1", "node2", 8.0)
+        env.topology.link("node1", "node2").set_rate_limit(0.001)
+        run_timeline(env, 30.0)
+        flow = env.netem.flow("f")
+        assert flow.allocated_mbps <= 0.001 + 1e-9
+        assert flow.goodput_fraction < 0.01
+        # The queue saturates; loss approaches 1 but stays a fraction.
+        loss = env.netem.path_loss_fraction("node1", "node2")
+        assert 0.5 < loss <= 1.0
+
+    def test_controller_survives_dead_links_everywhere(self):
+        """Every link dies: the controller keeps evaluating, no target
+        clears the improvement gate, and nothing crashes."""
+        env = build_env(
+            full_mesh_topology(3, capacity_mbps=25.0), seed=43
+        )
+        app = SocialNetworkApp(annotate_rps=50.0)
+        handle = deploy_app(
+            env, app, "k3s",
+            config=BassConfig().with_migration(cooldown_s=0.0),
+        )
+        app.set_rps(50.0)
+        app.update_demands(handle.binding, 0.0)
+        for link in env.topology.links:
+            link.set_rate_limit(0.01)
+        run_timeline(env, 120.0)
+        assert len(handle.controller.iterations) >= 3  # kept evaluating
+
+
+class TestInfeasibility:
+    def test_application_too_large_raises(self):
+        topology = full_mesh_topology(2, cpu_cores=2.0)
+        env = build_env(topology, seed=44)
+        with pytest.raises(InsufficientCapacityError):
+            deploy_app(
+                env, SocialNetworkApp(annotate_rps=10), "bass-bfs",
+                start_controller=False,
+            )
+
+    def test_migration_to_full_cluster_refused(self):
+        env = build_env(full_mesh_topology(2, cpu_cores=4.0), seed=45)
+        dag = ComponentDAG("app")
+        dag.add_component(Component("big", cpu=4))
+
+        class App:
+            name = "app"
+
+            def build_dag(self):
+                return dag
+
+            def update_demands(self, binding, t):
+                pass
+
+            def on_deployed(self, binding):
+                pass
+
+        handle = deploy_app(env, App(), "bass-bfs", start_controller=False)
+        current = handle.deployment.node_of("big")
+        other = "node2" if current == "node1" else "node1"
+        env.cluster.node(other).allocate(ResourceSpec(4, 0))
+        with pytest.raises(MigrationError):
+            env.orchestrator.migrate("app", "big", other)
+        # The refused migration must not corrupt the ledger.
+        assert handle.deployment.node_of("big") == current
+        assert env.cluster.node(current).allocated.cpu == 4.0
+
+
+class TestNodeLoss:
+    def test_losing_a_nodes_links_triggers_evacuation(self):
+        """A node whose radios die (all links → ~0) has its components
+        migrated away once their edges starve — the closest thing to
+        node failure BASS's assumptions allow."""
+        topology = MeshTopology()
+        for name in ("node1", "node2", "node3"):
+            topology.add_node(MeshNode(name, cpu_cores=8.0))
+        for a, b in (("node1", "node2"), ("node2", "node3"),
+                     ("node1", "node3")):
+            topology.add_link(a, b, capacity_mbps=25.0)
+        env = build_env(topology, seed=46, restart_seconds=2.0)
+        dag = ComponentDAG("app")
+        dag.add_component(
+            Component("hub", cpu=1, memory_mb=64, pinned_node="node1")
+        )
+        dag.add_component(Component("worker", cpu=1, memory_mb=64))
+        dag.add_dependency("hub", "worker", 8.0)
+
+        class App:
+            name = "app"
+
+            def build_dag(self):
+                return dag
+
+            def update_demands(self, binding, t):
+                pass
+
+            def on_deployed(self, binding):
+                pass
+
+        config = BassConfig().with_migration(cooldown_s=0.0)
+        handle = deploy_app(env, App(), "bass-longest-path", config=config,
+                            force_assignments={"worker": "node3"})
+        # node3's radios degrade to near-nothing.
+        for peer in ("node1", "node2"):
+            topology.link("node3", peer).set_rate_limit(0.05)
+        run_timeline(env, 120.0)
+        assert handle.deployment.node_of("worker") != "node3"

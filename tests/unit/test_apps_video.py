@@ -1,0 +1,186 @@
+"""Unit tests for the video-conferencing (SFU) model."""
+
+import pytest
+
+from repro.apps.video import Participant, VideoConferenceApp
+from repro.cluster.deployment import Deployment
+from repro.core.binding import DeploymentBinding
+from repro.errors import ConfigError
+from repro.mesh.topology import full_mesh_topology
+from repro.net.netem import NetworkEmulator
+
+
+def two_party_app(stream_mbps=2.0):
+    return VideoConferenceApp(
+        [Participant("alice", "node1"), Participant("bob", "node2")],
+        stream_mbps=stream_mbps,
+    )
+
+
+def deploy(app, sfu_node="node3", capacity=100.0):
+    dag = app.build_dag()
+    deployment = Deployment(app.name)
+    for component in dag.components:
+        node = component.pinned_node or sfu_node
+        deployment.bind(component.name, node)
+    netem = NetworkEmulator(full_mesh_topology(3, capacity_mbps=capacity))
+    binding = DeploymentBinding(dag, deployment, netem)
+    binding.sync_flows()
+    return binding
+
+
+class TestDagShape:
+    def test_sfu_plus_pub_sub_endpoints(self):
+        dag = two_party_app().build_dag()
+        assert "sfu" in dag
+        assert sorted(dag.dependents("sfu")) == ["pub-alice", "pub-bob"]
+        assert sorted(dag.dependencies("sfu")) == ["sub-alice", "sub-bob"]
+
+    def test_endpoints_are_pinned_and_weightless(self):
+        dag = two_party_app().build_dag()
+        pub = dag.component("pub-alice")
+        assert pub.pinned_node == "node1"
+        assert pub.cpu == 0.0
+
+    def test_download_weight_scales_with_other_publishers(self):
+        app = VideoConferenceApp(
+            [
+                Participant("a", "node1"),
+                Participant("b", "node1"),
+                Participant("c", "node2"),
+            ],
+            stream_mbps=2.0,
+        )
+        dag = app.build_dag()
+        # Each participant downloads the other two publishers' streams.
+        assert dag.weight("sfu", "sub-a") == 4.0
+
+    def test_receive_only_participant(self):
+        app = VideoConferenceApp(
+            [
+                Participant("speaker", "node1"),
+                Participant("viewer", "node2", publishes=False),
+            ]
+        )
+        dag = app.build_dag()
+        assert "pub-viewer" not in dag
+        assert "sub-viewer" in dag
+        # The speaker has no one else to subscribe to.
+        assert "sub-speaker" not in dag
+
+    def test_empty_conference_raises(self):
+        with pytest.raises(ConfigError):
+            VideoConferenceApp([])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ConfigError):
+            VideoConferenceApp(
+                [Participant("x", "node1"), Participant("x", "node2")]
+            )
+
+    def test_conference_at_nodes(self):
+        app = VideoConferenceApp.conference_at_nodes(["node1", "node2"], 2)
+        assert len(app.participants) == 4
+        assert app.subscribed_streams(app.participants[0]) == 3
+
+
+class TestMetrics:
+    def test_full_bitrate_on_fat_links(self):
+        app = two_party_app(stream_mbps=2.0)
+        binding = deploy(app, capacity=100.0)
+        for participant in app.participants:
+            assert app.client_bitrate_mbps(
+                participant, binding
+            ) == pytest.approx(2.0)
+
+    def test_bitrate_squeezed_by_bottleneck(self):
+        app = two_party_app(stream_mbps=8.0)
+        binding = deploy(app, capacity=4.0)
+        bitrate = app.client_bitrate_mbps(app.participants[0], binding)
+        assert bitrate < 8.0
+
+    def test_bitrate_zero_during_sfu_restart(self):
+        app = two_party_app()
+        binding = deploy(app)
+        binding.deployment.rebind(
+            "sfu", "node1", time=0.0, restart_seconds=30.0
+        )
+        binding.sync_flows()
+        assert (
+            app.client_bitrate_mbps(app.participants[1], binding) == 0.0
+        )
+
+    def test_colocated_client_gets_full_rate(self):
+        app = two_party_app(stream_mbps=2.0)
+        binding = deploy(app, sfu_node="node1", capacity=1.0)
+        alice = app.participants[0]  # co-located with the SFU
+        assert app.client_bitrate_mbps(alice, binding) == 2.0
+
+    def test_loss_zero_without_congestion(self):
+        app = two_party_app()
+        binding = deploy(app, capacity=100.0)
+        assert app.client_loss_fraction(app.participants[0], binding) == 0.0
+
+    def test_mean_bitrate_by_node_groups(self):
+        app = VideoConferenceApp.conference_at_nodes(["node1", "node2"], 2)
+        binding = deploy(app, sfu_node="node3")
+        by_node = app.mean_bitrate_by_node(binding)
+        assert set(by_node) == {"node1", "node2"}
+
+
+class TestAdaptiveBitrate:
+    def _congested_world(self, adaptive):
+        app = VideoConferenceApp(
+            [
+                Participant("speaker", "node1"),
+                Participant("viewer", "node2", publishes=False),
+            ],
+            stream_mbps=8.0,
+            adaptive=adaptive,
+        )
+        binding = deploy(app, sfu_node="node1", capacity=4.0)
+        return app, binding
+
+    def test_nonadaptive_overload_drops_packets(self):
+        app, binding = self._congested_world(adaptive=False)
+        for _ in range(30):
+            binding.netem.tick()
+            app.update_demands(binding, binding.netem.now)
+        assert app.client_loss_fraction(app.participants[1], binding) > 0.2
+
+    def test_adaptive_backs_off_and_stops_losing(self):
+        app, binding = self._congested_world(adaptive=True)
+        for _ in range(30):
+            binding.netem.tick()
+            app.update_demands(binding, binding.netem.now)
+        flow = binding.netem.flow(app.client_download_flow_id(app.participants[1]))
+        # Demand converged near the link capacity; queue stopped growing.
+        assert flow.demand_mbps < 5.0
+        assert flow.goodput_fraction > 0.9
+        assert app.client_loss_fraction(app.participants[1], binding) < 0.05
+
+    def test_adaptive_recovers_when_capacity_returns(self):
+        app, binding = self._congested_world(adaptive=True)
+        for _ in range(30):
+            binding.netem.tick()
+            app.update_demands(binding, binding.netem.now)
+        # Capacity recovers: AIMD climbs back to the full layer rate.
+        for link in binding.netem.topology.links:
+            link.set_rate_limit(None)
+            link.set_trace(
+                __import__("repro.mesh.traces", fromlist=["BandwidthTrace"])
+                .BandwidthTrace.constant(100.0)
+            )
+        for _ in range(80):
+            binding.netem.tick()
+            app.update_demands(binding, binding.netem.now)
+        flow = binding.netem.flow(app.client_download_flow_id(app.participants[1]))
+        assert flow.demand_mbps == pytest.approx(8.0, rel=0.05)
+
+    def test_bad_min_fraction_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            VideoConferenceApp(
+                [Participant("a", "node1")], min_stream_fraction=0.0
+            )

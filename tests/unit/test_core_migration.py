@@ -1,0 +1,222 @@
+"""Unit tests for Algorithm 3: violation detection, candidate pruning,
+and target selection."""
+
+import pytest
+
+from repro.cluster.deployment import Deployment
+from repro.cluster.orchestrator import ClusterState
+from repro.cluster.resources import NodeResources, ResourceSpec
+from repro.core.dag import Component, ComponentDAG
+from repro.core.migration import MigrationPlanner, Violation
+from repro.mesh.topology import line_topology
+from repro.net.netem import NetworkEmulator
+
+
+def pair_dag(weight=8.0, pinned_producer=None):
+    dag = ComponentDAG("pair")
+    dag.add_component(
+        Component("producer", cpu=1, memory_mb=10, pinned_node=pinned_producer)
+    )
+    dag.add_component(Component("consumer", cpu=1, memory_mb=10))
+    dag.add_dependency("producer", "consumer", weight)
+    return dag
+
+
+def violation(component="producer", dependency="consumer", **kwargs):
+    defaults = dict(
+        required_mbps=8.0,
+        goodput=0.3,
+        utilization=1.0,
+        available_mbps=0.0,
+        headroom_mbps=2.0,
+    )
+    defaults.update(kwargs)
+    return Violation(component=component, dependency=dependency, **defaults)
+
+
+class TestDetectViolations:
+    def _setup(self, capacity=25.0, demand=8.0):
+        dag = pair_dag(weight=demand)
+        topo = line_topology([capacity])
+        netem = NetworkEmulator(topo)
+        deployment = Deployment("pair")
+        deployment.bind("producer", "node1")
+        deployment.bind("consumer", "node2")
+        netem.add_flow("e", "node1", "node2", demand)
+        netem.recompute()
+        flow = netem.flow("e")
+        goodput = {"e": flow.goodput_fraction}
+        planner = MigrationPlanner(dag, goodput_threshold=0.5)
+        violations = planner.detect_violations(
+            deployment,
+            netem,
+            goodput_of=lambda s, d: flow.goodput_fraction,
+            achieved_mbps_of=lambda s, d: flow.allocated_mbps,
+        )
+        return violations
+
+    def test_healthy_edge_no_violation(self):
+        assert self._setup(capacity=25.0, demand=8.0) == []
+
+    def test_starved_edge_trips_goodput(self):
+        violations = self._setup(capacity=3.0, demand=8.0)
+        assert len(violations) == 1
+        assert violations[0].goodput == pytest.approx(3.0 / 8.0)
+
+    def test_quota_exhaustion_trips_utilization(self):
+        # Edge achieves its full 8 Mbps quota but leaves <20% headroom
+        # on a 9 Mbps link.
+        violations = self._setup(capacity=9.0, demand=8.0)
+        assert len(violations) == 1
+        assert violations[0].utilization == pytest.approx(1.0)
+        assert violations[0].headroom_violated
+
+    def test_colocated_edge_never_violates(self):
+        dag = pair_dag()
+        topo = line_topology([1.0])
+        netem = NetworkEmulator(topo)
+        deployment = Deployment("pair")
+        deployment.bind("producer", "node1")
+        deployment.bind("consumer", "node1")
+        planner = MigrationPlanner(dag)
+        assert (
+            planner.detect_violations(
+                deployment,
+                netem,
+                goodput_of=lambda s, d: 0.0,
+                achieved_mbps_of=lambda s, d: 0.0,
+            )
+            == []
+        )
+
+    def test_goodput_trigger_disabled_at_zero(self):
+        dag = pair_dag(weight=8.0)
+        topo = line_topology([3.0])
+        netem = NetworkEmulator(topo)
+        deployment = Deployment("pair")
+        deployment.bind("producer", "node1")
+        deployment.bind("consumer", "node2")
+        planner = MigrationPlanner(dag, goodput_threshold=0.0)
+        violations = planner.detect_violations(
+            deployment,
+            netem,
+            goodput_of=lambda s, d: 0.3,
+            achieved_mbps_of=lambda s, d: 2.4,  # 0.3 of quota: no util trip
+        )
+        assert violations == []
+
+
+class TestSelectCandidates:
+    def test_single_end_of_pair_survives(self):
+        dag = pair_dag()
+        planner = MigrationPlanner(dag)
+        candidates = planner.select_candidates([violation()])
+        assert len(candidates) == 1
+
+    def test_pinned_component_excluded(self):
+        dag = pair_dag(pinned_producer="node3")
+        planner = MigrationPlanner(dag)
+        candidates = planner.select_candidates([violation()])
+        assert candidates == ["consumer"]
+
+    def test_largest_bandwidth_retained_neighbours_pruned(self):
+        dag = ComponentDAG("app")
+        for name in ("hub", "x", "y"):
+            dag.add_component(Component(name))
+        dag.add_dependency("hub", "x", 10.0)
+        dag.add_dependency("hub", "y", 5.0)
+        planner = MigrationPlanner(dag)
+        # hub carries 15 Mbps total — the largest — so it is retained
+        # and both of its violating partners are pruned: only one end
+        # of each communicating pair moves.
+        candidates = planner.select_candidates(
+            [
+                violation("hub", "x"),
+                violation("hub", "y"),
+            ]
+        )
+        assert candidates == ["hub"]
+
+    def test_no_duplicates(self):
+        dag = pair_dag()
+        planner = MigrationPlanner(dag)
+        candidates = planner.select_candidates([violation(), violation()])
+        assert len(candidates) == len(set(candidates))
+
+    def test_empty_violations(self):
+        planner = MigrationPlanner(pair_dag())
+        assert planner.select_candidates([]) == []
+
+
+class TestSelectTarget:
+    def _world(self, consumer_node="node2"):
+        dag = pair_dag(pinned_producer="node1")
+        topo = line_topology([25.0, 25.0])  # node1 - node2 - node3
+        netem = NetworkEmulator(topo)
+        cluster = ClusterState(
+            NodeResources(name, ResourceSpec(4, 1000))
+            for name in ("node1", "node2", "node3")
+        )
+        deployment = Deployment("pair")
+        deployment.bind("producer", "node1")
+        deployment.bind("consumer", consumer_node)
+        planner = MigrationPlanner(dag)
+        return planner, deployment, cluster, netem
+
+    def test_prefers_colocation_with_dependency(self):
+        planner, deployment, cluster, netem = self._world("node3")
+        target = planner.select_target(
+            "consumer", deployment, cluster, netem
+        )
+        assert target == "node1"  # where the producer lives
+
+    def test_excludes_current_node(self):
+        planner, deployment, cluster, netem = self._world("node2")
+        target = planner.select_target(
+            "consumer", deployment, cluster, netem
+        )
+        assert target != "node2"
+
+    def test_respects_resource_fit(self):
+        planner, deployment, cluster, netem = self._world("node3")
+        cluster.node("node1").allocate(ResourceSpec(4, 0))  # full
+        target = planner.select_target(
+            "consumer", deployment, cluster, netem
+        )
+        assert target == "node2"  # closest feasible alternative
+
+    def test_none_when_nowhere_fits(self):
+        planner, deployment, cluster, netem = self._world("node3")
+        cluster.node("node1").allocate(ResourceSpec(4, 0))
+        cluster.node("node2").allocate(ResourceSpec(4, 0))
+        assert (
+            planner.select_target("consumer", deployment, cluster, netem)
+            is None
+        )
+
+    def test_explicit_exclusion(self):
+        planner, deployment, cluster, netem = self._world("node3")
+        target = planner.select_target(
+            "consumer", deployment, cluster, netem, exclude={"node1"}
+        )
+        assert target == "node2"
+
+    def test_improvement_gate_blocks_pointless_moves(self):
+        # Consumer sits on node2 with a healthy direct 25 Mbps link;
+        # moving to node3 would put it behind two hops with competing
+        # traffic — the gate must reject when no gain is possible.
+        planner, deployment, cluster, netem = self._world("node2")
+        netem.add_flow("edge", "node1", "node2", 8.0)
+        netem.recompute()
+        # Saturate node2->node3 so a move to node3 cannot improve.
+        netem.add_flow("noise", "node2", "node3", 25.0)
+        netem.recompute()
+        cluster.node("node1").allocate(ResourceSpec(4, 0))  # block colocation
+        target = planner.select_target(
+            "consumer",
+            deployment,
+            cluster,
+            netem,
+            achieved_mbps_of=lambda s, d: 8.0,
+        )
+        assert target is None

@@ -1,0 +1,152 @@
+"""Unit tests for Algorithms 1 and 2 (component ordering heuristics)."""
+
+import pytest
+
+from repro.core.dag import Component, ComponentDAG
+from repro.core.ordering import (
+    breadth_first_order,
+    longest_path_order,
+    order_components,
+)
+from repro.errors import DagError
+
+
+def fig6_dag() -> ComponentDAG:
+    """A 7-component DAG reproducing Fig 6's worked example.
+
+    Expected orders: BFS 1,3,2,4,5,7,6 — longest-path 1,2,4,5,7,3,6.
+    Weights are chosen so that edge 1->3 is the heaviest out of 1 (BFS
+    pops c3 first), the heaviest *path* is 1->2->4->5->7 (longest-path
+    extracts it whole), and c6 hangs off c4 with a light edge (BFS
+    reaches it last).
+    """
+    dag = ComponentDAG("fig6")
+    for i in range(1, 8):
+        dag.add_component(Component(f"c{i}"))
+    dag.add_dependency("c1", "c3", 10.0)
+    dag.add_dependency("c1", "c2", 8.0)
+    dag.add_dependency("c2", "c4", 9.0)
+    dag.add_dependency("c4", "c5", 9.0)
+    dag.add_dependency("c4", "c6", 1.0)
+    dag.add_dependency("c5", "c7", 9.0)
+    return dag.validate()
+
+
+def camera_like_dag() -> ComponentDAG:
+    dag = ComponentDAG("cam")
+    for name in ("stream", "sampler", "detector", "image", "label"):
+        dag.add_component(Component(name))
+    dag.add_dependency("stream", "sampler", 10.0)
+    dag.add_dependency("sampler", "detector", 6.0)
+    dag.add_dependency("detector", "image", 4.0)
+    dag.add_dependency("detector", "label", 0.05)
+    return dag
+
+
+class TestBreadthFirst:
+    def test_fig6_order(self):
+        order = breadth_first_order(fig6_dag())
+        assert order == ["c1", "c3", "c2", "c4", "c5", "c7", "c6"]
+
+    def test_is_permutation(self):
+        dag = fig6_dag()
+        assert sorted(breadth_first_order(dag)) == sorted(dag.component_names)
+
+    def test_camera_chain(self):
+        order = breadth_first_order(camera_like_dag())
+        assert order == ["stream", "sampler", "detector", "image", "label"]
+
+    def test_starts_from_topological_root(self):
+        order = breadth_first_order(fig6_dag())
+        assert order[0] == "c1"
+
+    def test_explicit_source(self):
+        dag = fig6_dag()
+        order = breadth_first_order(dag, source="c2")
+        assert order[0] == "c2"
+        assert sorted(order) == sorted(dag.component_names)
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(DagError):
+            breadth_first_order(fig6_dag(), source="ghost")
+
+    def test_disconnected_components_all_visited(self):
+        dag = ComponentDAG("app")
+        for name in ("a", "b", "solo"):
+            dag.add_component(Component(name))
+        dag.add_dependency("a", "b", 1.0)
+        order = breadth_first_order(dag)
+        assert sorted(order) == ["a", "b", "solo"]
+
+    def test_empty_dag(self):
+        assert breadth_first_order(ComponentDAG("app")) == []
+
+    def test_heavier_accumulated_path_explored_first(self):
+        dag = ComponentDAG("app")
+        for name in ("root", "light", "heavy", "tail"):
+            dag.add_component(Component(name))
+        dag.add_dependency("root", "light", 1.0)
+        dag.add_dependency("root", "heavy", 9.0)
+        dag.add_dependency("heavy", "tail", 9.0)
+        order = breadth_first_order(dag)
+        assert order.index("heavy") < order.index("light")
+
+
+class TestLongestPath:
+    def test_fig6_order(self):
+        order = longest_path_order(fig6_dag())
+        assert order == ["c1", "c2", "c4", "c5", "c7", "c3", "c6"]
+
+    def test_is_permutation(self):
+        dag = fig6_dag()
+        assert sorted(longest_path_order(dag)) == sorted(dag.component_names)
+
+    def test_camera_chain(self):
+        order = longest_path_order(camera_like_dag())
+        assert order == ["stream", "sampler", "detector", "image", "label"]
+
+    def test_path_emitted_contiguously(self):
+        order = longest_path_order(fig6_dag())
+        # The heaviest path c1..c7 occupies the first five slots.
+        assert order[:5] == ["c1", "c2", "c4", "c5", "c7"]
+
+    def test_weighted_not_hop_count(self):
+        # A short heavy path must beat a long light one.
+        dag = ComponentDAG("app")
+        for name in ("s", "h1", "l1", "l2", "l3"):
+            dag.add_component(Component(name))
+        dag.add_dependency("s", "h1", 100.0)
+        dag.add_dependency("s", "l1", 1.0)
+        dag.add_dependency("l1", "l2", 1.0)
+        dag.add_dependency("l2", "l3", 1.0)
+        order = longest_path_order(dag)
+        assert order[:2] == ["s", "h1"]
+
+    def test_disconnected(self):
+        dag = ComponentDAG("app")
+        for name in ("a", "b", "solo"):
+            dag.add_component(Component(name))
+        dag.add_dependency("a", "b", 1.0)
+        assert sorted(longest_path_order(dag)) == ["a", "b", "solo"]
+
+    def test_empty_dag(self):
+        assert longest_path_order(ComponentDAG("app")) == []
+
+    def test_single_component(self):
+        dag = ComponentDAG("app")
+        dag.add_component(Component("only"))
+        assert longest_path_order(dag) == ["only"]
+
+
+class TestDispatch:
+    def test_order_components_bfs(self):
+        dag = fig6_dag()
+        assert order_components(dag, "bfs") == breadth_first_order(dag)
+
+    def test_order_components_longest_path(self):
+        dag = fig6_dag()
+        assert order_components(dag, "longest_path") == longest_path_order(dag)
+
+    def test_unknown_heuristic_raises(self):
+        with pytest.raises(DagError):
+            order_components(fig6_dag(), "random")

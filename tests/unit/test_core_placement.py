@@ -1,0 +1,144 @@
+"""Unit tests for node ranking and greedy placement."""
+
+import pytest
+
+from repro.cluster.orchestrator import ClusterState
+from repro.cluster.resources import NodeResources, ResourceSpec
+from repro.core.dag import Component, ComponentDAG
+from repro.core.placement import PlacementEngine, rank_nodes
+from repro.errors import InsufficientCapacityError
+from repro.mesh.topology import citylab_subset
+from repro.net.netem import NetworkEmulator
+
+
+def cluster_of(*sizes):
+    return ClusterState(
+        NodeResources(f"node{i + 1}", ResourceSpec(cpu, 10_000))
+        for i, cpu in enumerate(sizes)
+    )
+
+
+def dag_chain(*cpus, weights=None, app="app"):
+    dag = ComponentDAG(app)
+    names = [f"p{i}" for i in range(len(cpus))]
+    for name, cpu in zip(names, cpus):
+        dag.add_component(Component(name, cpu=cpu, memory_mb=10))
+    weights = weights or [1.0] * (len(cpus) - 1)
+    for (src, dst), weight in zip(zip(names, names[1:]), weights):
+        dag.add_dependency(src, dst, weight)
+    return dag
+
+
+class TestRankNodes:
+    def test_ranks_by_link_capacity_first(self):
+        topo = citylab_subset()
+        cluster = ClusterState.from_topology(topo)
+        netem = NetworkEmulator(topo)
+        ranking = rank_nodes(cluster, netem)
+        # node1 carries the fattest aggregate links (incl. control).
+        assert ranking[0] == "node1"
+        assert set(ranking) == {"node1", "node2", "node3", "node4"}
+
+    def test_without_netem_falls_back_to_cpu(self):
+        cluster = cluster_of(2, 8, 4)
+        assert rank_nodes(cluster) == ["node2", "node3", "node1"]
+
+    def test_name_tie_break(self):
+        cluster = cluster_of(4, 4)
+        assert rank_nodes(cluster) == ["node1", "node2"]
+
+
+class TestPlacementEngine:
+    def test_packs_adjacent_components_together(self):
+        cluster = cluster_of(8, 8)
+        dag = dag_chain(2, 2, 2)
+        engine = PlacementEngine(cluster)
+        assignments = engine.place(dag.to_pods(), ["p0", "p1", "p2"])
+        assert len(set(assignments.values())) == 1
+
+    def test_overflow_moves_cursor_to_next_node(self):
+        cluster = cluster_of(4, 4)
+        dag = dag_chain(2, 2, 2)
+        engine = PlacementEngine(cluster)
+        assignments = engine.place(dag.to_pods(), ["p0", "p1", "p2"])
+        assert assignments["p0"] == assignments["p1"]
+        assert assignments["p2"] != assignments["p0"]
+
+    def test_cursor_is_sticky_not_first_fit(self):
+        # After overflowing to node2, subsequent small pods continue
+        # packing node2 (co-location with recent neighbours), not node1.
+        cluster = cluster_of(4, 8)
+        dag = dag_chain(3, 3, 1)
+        engine = PlacementEngine(cluster)
+        assignments = engine.place(dag.to_pods(), ["p0", "p1", "p2"])
+        assert assignments["p1"] == "node2"
+        assert assignments["p2"] == "node2"
+
+    def test_falls_back_to_earlier_node_when_later_full(self):
+        cluster = cluster_of(4, 4)
+        dag = dag_chain(1, 4, 3)
+        engine = PlacementEngine(cluster)
+        assignments = engine.place(dag.to_pods(), ["p0", "p1", "p2"])
+        # p0 on node1 (1/4), p1 overflows to node2 (4/4), p2 (3) only
+        # fits back on node1.
+        assert assignments["p2"] == "node1"
+
+    def test_resources_committed(self):
+        cluster = cluster_of(8)
+        dag = dag_chain(3, 3)
+        PlacementEngine(cluster).place(dag.to_pods(), ["p0", "p1"])
+        assert cluster.node("node1").free.cpu == 2
+
+    def test_infeasible_raises(self):
+        cluster = cluster_of(2)
+        dag = dag_chain(3)
+        with pytest.raises(InsufficientCapacityError):
+            PlacementEngine(cluster).place(dag.to_pods(), ["p0"])
+
+    def test_order_must_be_permutation(self):
+        cluster = cluster_of(8)
+        dag = dag_chain(1, 1)
+        with pytest.raises(InsufficientCapacityError):
+            PlacementEngine(cluster).place(dag.to_pods(), ["p0"])
+
+    def test_pinned_pod_ignores_ranking(self):
+        topo = citylab_subset()
+        cluster = ClusterState.from_topology(topo)
+        netem = NetworkEmulator(topo)
+        dag = ComponentDAG("app")
+        dag.add_component(Component("free", cpu=1, memory_mb=10))
+        dag.add_component(
+            Component("stuck", cpu=1, memory_mb=10, pinned_node="node4")
+        )
+        dag.add_dependency("free", "stuck", 1.0)
+        engine = PlacementEngine(cluster, netem)
+        assignments = engine.place(dag.to_pods(), ["free", "stuck"])
+        assert assignments["stuck"] == "node4"
+
+    def test_pinned_pod_without_room_raises(self):
+        cluster = cluster_of(1, 8)
+        dag = ComponentDAG("app")
+        dag.add_component(
+            Component("big", cpu=2, memory_mb=10, pinned_node="node1")
+        )
+        with pytest.raises(InsufficientCapacityError):
+            PlacementEngine(cluster).place(dag.to_pods(), ["big"])
+
+    def test_bandwidth_preference_avoids_weak_links(self):
+        # Two pods that must split (each 8 cpu on 8-core nodes) with a
+        # fat requirement between them: the second pod should pick the
+        # node with a link that can carry the edge.
+        topo = citylab_subset()
+        cluster = ClusterState.from_topology(topo)
+        netem = NetworkEmulator(topo)
+        dag = ComponentDAG("app")
+        dag.add_component(Component("a", cpu=12, memory_mb=10))
+        dag.add_component(Component("b", cpu=8, memory_mb=10))
+        dag.add_dependency("a", "b", 10.0)  # > node1-node2 cannot... 19.9 ok
+        engine = PlacementEngine(cluster, netem)
+        assignments = engine.place(dag.to_pods(), ["a", "b"])
+        assert assignments["a"] == "node1"
+        # The 10 Mbps edge fits n1->n2 (19.9) and n1->n3 (15) but the
+        # chosen node must at least carry it.
+        capacity = netem.path_capacity(assignments["a"], assignments["b"])
+        assert capacity >= 10.0

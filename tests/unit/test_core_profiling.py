@@ -1,0 +1,142 @@
+"""Unit tests for online bandwidth profiling (§8 future work)."""
+
+import pytest
+
+from repro.cluster.deployment import Deployment
+from repro.core.binding import DeploymentBinding
+from repro.core.dag import Component, ComponentDAG
+from repro.core.profiling import OnlineProfiler
+from repro.errors import ConfigError
+from repro.mesh.topology import full_mesh_topology
+from repro.net.netem import NetworkEmulator
+
+
+def make_binding(weight=5.0):
+    dag = ComponentDAG("app")
+    dag.add_component(Component("a", cpu=1, memory_mb=10))
+    dag.add_component(Component("b", cpu=1, memory_mb=10))
+    dag.add_dependency("a", "b", weight)
+    deployment = Deployment("app")
+    deployment.bind("a", "node1")
+    deployment.bind("b", "node2")
+    netem = NetworkEmulator(full_mesh_topology(2, capacity_mbps=100.0))
+    binding = DeploymentBinding(dag, deployment, netem)
+    binding.sync_flows()
+    return binding, dag
+
+
+class TestSampling:
+    def test_no_estimate_until_min_samples(self):
+        binding, _ = make_binding()
+        profiler = OnlineProfiler(binding, min_samples=10)
+        for _ in range(9):
+            profiler.sample()
+        assert profiler.edge_profile("a", "b") is None
+        profiler.sample()
+        assert profiler.edge_profile("a", "b") is not None
+
+    def test_profile_tracks_offered_demand(self):
+        binding, _ = make_binding(weight=5.0)
+        profiler = OnlineProfiler(binding, min_samples=5)
+        for _ in range(10):
+            profiler.sample()
+        profile = profiler.edge_profile("a", "b")
+        assert profile.mean_mbps == pytest.approx(5.0)
+        assert profile.p95_mbps == pytest.approx(5.0)
+        assert profile.estimate_mbps == pytest.approx(6.0)  # x1.2 safety
+
+    def test_profile_sees_demand_changes(self):
+        binding, _ = make_binding(weight=5.0)
+        profiler = OnlineProfiler(
+            binding, min_samples=5, window=100, percentile=95.0
+        )
+        for _ in range(50):
+            profiler.sample()
+        binding.set_demand_scale("a", "b", 3.0)  # burst to 15 Mbps
+        for _ in range(50):
+            profiler.sample()
+        profile = profiler.edge_profile("a", "b")
+        assert profile.peak_mbps == pytest.approx(15.0)
+        assert profile.p95_mbps > 5.0
+
+    def test_window_forgets_old_traffic(self):
+        binding, _ = make_binding(weight=5.0)
+        profiler = OnlineProfiler(binding, min_samples=5, window=20)
+        for _ in range(20):
+            profiler.sample()
+        binding.set_demand_scale("a", "b", 0.2)  # quiesce to 1 Mbps
+        for _ in range(20):
+            profiler.sample()
+        profile = profiler.edge_profile("a", "b")
+        assert profile.peak_mbps == pytest.approx(1.0)
+
+    def test_coverage(self):
+        binding, _ = make_binding()
+        profiler = OnlineProfiler(binding, min_samples=5)
+        assert profiler.coverage() == 0.0
+        for _ in range(5):
+            profiler.sample()
+        assert profiler.coverage() == 1.0
+
+
+class TestApply:
+    def test_apply_updates_dag_annotations(self):
+        binding, dag = make_binding(weight=5.0)
+        profiler = OnlineProfiler(binding, min_samples=5)
+        binding.set_demand_scale("a", "b", 2.0)  # real traffic is 10
+        binding.sync_flows()
+        for _ in range(10):
+            profiler.sample()
+        updates = profiler.apply()
+        assert updates[("a", "b")] == pytest.approx(12.0)  # 10 x 1.2
+        assert dag.weight("a", "b") == pytest.approx(12.0)
+
+    def test_apply_does_not_change_offered_demand(self):
+        # Profiling updates the *requirement* view; what the app sends
+        # stays anchored to the deploy-time annotations — no feedback
+        # loop of requirement -> demand -> bigger requirement.
+        binding, dag = make_binding(weight=5.0)
+        profiler = OnlineProfiler(binding, min_samples=5)
+        for _ in range(10):
+            profiler.sample()
+        profiler.apply()
+        assert dag.weight("a", "b") == pytest.approx(6.0)
+        assert binding.edge_demand("a", "b") == pytest.approx(5.0)
+        profiler2 = OnlineProfiler(binding, min_samples=5)
+        for _ in range(10):
+            profiler2.sample()
+        profiler2.apply()
+        assert dag.weight("a", "b") == pytest.approx(6.0)  # converged
+
+    def test_apply_skips_undersampled_edges(self):
+        binding, dag = make_binding(weight=5.0)
+        profiler = OnlineProfiler(binding, min_samples=50)
+        profiler.sample()
+        assert profiler.apply() == {}
+        assert dag.weight("a", "b") == 5.0
+
+    def test_zero_traffic_edge_keeps_positive_requirement(self):
+        binding, dag = make_binding(weight=5.0)
+        binding.set_demand_override("a", "b", 0.0)
+        profiler = OnlineProfiler(binding, min_samples=5)
+        for _ in range(10):
+            profiler.sample()
+        updates = profiler.apply()
+        assert updates[("a", "b")] == pytest.approx(0.01)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"percentile": 0.0},
+            {"percentile": 101.0},
+            {"safety_factor": 0.0},
+            {"min_samples": 0},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        binding, _ = make_binding()
+        with pytest.raises(ConfigError):
+            OnlineProfiler(binding, **kwargs)

@@ -1,0 +1,99 @@
+"""Unit tests for the BASS scheduler facade."""
+
+import pytest
+
+from repro.cluster.orchestrator import ClusterState
+from repro.cluster.resources import NodeResources, ResourceSpec
+from repro.core.dag import Component, ComponentDAG
+from repro.core.scheduler import BassScheduler, dag_from_pods
+from repro.errors import DagError
+from repro.mesh.topology import citylab_subset
+from repro.net.netem import NetworkEmulator
+
+
+def chatty_dag():
+    dag = ComponentDAG("app")
+    for name in ("a", "b", "c"):
+        dag.add_component(Component(name, cpu=1, memory_mb=64))
+    dag.add_dependency("a", "b", 10.0)
+    dag.add_dependency("b", "c", 1.0)
+    return dag
+
+
+def cluster_of(*sizes):
+    return ClusterState(
+        NodeResources(f"node{i + 1}", ResourceSpec(cpu, 10_000))
+        for i, cpu in enumerate(sizes)
+    )
+
+
+class TestBassScheduler:
+    def test_invalid_heuristic_raises(self):
+        with pytest.raises(DagError):
+            BassScheduler("alphabetical")
+
+    def test_name(self):
+        assert BassScheduler("bfs").name == "bass-bfs"
+        assert BassScheduler("longest_path").name == "bass-longest-path"
+
+    def test_schedules_whole_application(self):
+        scheduler = BassScheduler("bfs")
+        assignments = scheduler.schedule(chatty_dag(), cluster_of(8, 8))
+        assert set(assignments) == {"a", "b", "c"}
+
+    def test_colocates_chatty_pair(self):
+        scheduler = BassScheduler("longest_path")
+        assignments = scheduler.schedule(chatty_dag(), cluster_of(8, 8))
+        assert assignments["a"] == assignments["b"]
+
+    def test_records_dag_processing_time(self):
+        scheduler = BassScheduler("bfs")
+        assert scheduler.last_dag_processing_s is None
+        scheduler.order(chatty_dag())
+        assert scheduler.last_dag_processing_s is not None
+        assert scheduler.last_dag_processing_s >= 0.0
+
+    def test_schedule_with_netem_prefers_good_links(self):
+        topo = citylab_subset()
+        cluster = ClusterState.from_topology(topo)
+        netem = NetworkEmulator(topo)
+        assignments = BassScheduler("bfs").schedule(
+            chatty_dag(), cluster, netem
+        )
+        # node1 has the fattest links and fits everything.
+        assert set(assignments.values()) == {"node1"}
+
+    def test_schedule_pods_roundtrip(self):
+        dag = chatty_dag()
+        pods = dag.to_pods()
+        assignments = BassScheduler("bfs").schedule_pods(
+            pods, cluster_of(8, 8)
+        )
+        assert set(assignments) == {"a", "b", "c"}
+
+    def test_schedule_pods_empty(self):
+        assert BassScheduler().schedule_pods([], cluster_of(4)) == {}
+
+
+class TestDagFromPods:
+    def test_rebuilds_edges_from_annotations(self):
+        original = chatty_dag()
+        rebuilt = dag_from_pods("app", original.to_pods())
+        assert sorted(rebuilt.edges()) == sorted(original.edges())
+        assert rebuilt.component_names == original.component_names
+
+    def test_preserves_resources_and_pins(self):
+        dag = ComponentDAG("app")
+        dag.add_component(
+            Component("a", cpu=3, memory_mb=77, pinned_node="node9")
+        )
+        rebuilt = dag_from_pods("app", dag.to_pods())
+        component = rebuilt.component("a")
+        assert component.cpu == 3
+        assert component.memory_mb == 77
+        assert component.pinned_node == "node9"
+
+    def test_app_mismatch_raises(self):
+        pods = chatty_dag().to_pods()
+        with pytest.raises(DagError):
+            dag_from_pods("other", pods)

@@ -1,0 +1,30 @@
+"""The exception hierarchy: one catchable root, specific leaves."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+@pytest.mark.parametrize(
+    ("child", "parent"),
+    [
+        (errors.CycleError, errors.DagError),
+        (errors.UnknownComponentError, errors.DagError),
+        (errors.RoutingError, errors.TopologyError),
+        (errors.InsufficientCapacityError, errors.SchedulingError),
+    ],
+)
+def test_specific_parentage(child, parent):
+    assert issubclass(child, parent)
+
+
+def test_catching_root_catches_subsystem_errors():
+    with pytest.raises(errors.ReproError):
+        raise errors.TraceError("boom")

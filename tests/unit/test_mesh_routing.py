@@ -1,0 +1,111 @@
+"""Unit tests for mesh routing."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.mesh.node import MeshNode
+from repro.mesh.routing import Router
+from repro.mesh.topology import MeshTopology, citylab_subset, line_topology
+
+
+def diamond() -> MeshTopology:
+    """a - b - d and a - c - d, with b-path links fatter."""
+    topo = MeshTopology()
+    for name in "abcd":
+        topo.add_node(MeshNode(name))
+    topo.add_link("a", "b", capacity_mbps=10.0)
+    topo.add_link("b", "d", capacity_mbps=8.0)
+    topo.add_link("a", "c", capacity_mbps=3.0)
+    topo.add_link("c", "d", capacity_mbps=3.0)
+    return topo
+
+
+class TestTraceroute:
+    def test_direct_route(self):
+        router = Router(line_topology([10.0]))
+        assert router.traceroute("node1", "node2") == ["node1", "node2"]
+
+    def test_multi_hop_route(self):
+        router = Router(line_topology([10.0, 10.0]))
+        assert router.traceroute("node1", "node3") == [
+            "node1",
+            "node2",
+            "node3",
+        ]
+
+    def test_same_node(self):
+        router = Router(line_topology([10.0]))
+        assert router.traceroute("node1", "node1") == ["node1"]
+
+    def test_lexicographic_tie_break(self):
+        router = Router(diamond())
+        # Both a-b-d and a-c-d are two hops; 'b' wins deterministically.
+        assert router.traceroute("a", "d") == ["a", "b", "d"]
+
+    def test_unknown_node_raises(self):
+        router = Router(line_topology([10.0]))
+        with pytest.raises(TopologyError):
+            router.traceroute("node1", "ghost")
+
+    def test_partition_raises(self):
+        topo = line_topology([10.0])
+        topo.add_node(MeshNode("island"))
+        router = Router(topo)
+        with pytest.raises(RoutingError):
+            router.traceroute("node1", "island")
+
+    def test_cache_and_invalidate(self):
+        topo = diamond()
+        router = Router(topo)
+        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        # Add a direct link; the cache hides it until invalidated.
+        topo.add_link("a", "d", capacity_mbps=1.0)
+        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        router.invalidate()
+        assert router.traceroute("a", "d") == ["a", "d"]
+
+
+class TestPathQueries:
+    def test_hop_count(self):
+        router = Router(line_topology([10.0, 10.0]))
+        assert router.hop_count("node1", "node3") == 2
+        assert router.hop_count("node1", "node1") == 0
+
+    def test_bottleneck_bandwidth_is_min_along_path(self):
+        router = Router(line_topology([10.0, 4.0]))
+        assert router.bottleneck_bandwidth("node1", "node3", 0.0) == 4.0
+
+    def test_bottleneck_same_node_is_infinite(self):
+        router = Router(line_topology([10.0]))
+        assert router.bottleneck_bandwidth("node1", "node1", 0.0) == float(
+            "inf"
+        )
+
+    def test_bottleneck_respects_direction_of_shaping(self):
+        topo = line_topology([10.0])
+        topo.link("node1", "node2").set_rate_limit(2.0, src="node1", dst="node2")
+        router = Router(topo)
+        assert router.bottleneck_bandwidth("node1", "node2", 0.0) == 2.0
+        assert router.bottleneck_bandwidth("node2", "node1", 0.0) == 10.0
+
+    def test_path_links_in_order(self):
+        router = Router(line_topology([10.0, 4.0]))
+        links = router.path_links("node1", "node3")
+        assert [link.id for link in links] == [
+            ("node1", "node2"),
+            ("node2", "node3"),
+        ]
+
+    def test_path_latency_sums_hops(self):
+        topo = line_topology([10.0, 10.0])
+        router = Router(topo)
+        per_hop = topo.link("node1", "node2").latency_ms
+        assert router.path_latency_ms("node1", "node3") == pytest.approx(
+            2 * per_hop
+        )
+
+    def test_citylab_routes_avoid_control_node(self):
+        router = Router(citylab_subset())
+        for src in ("node2", "node3", "node4"):
+            path = router.traceroute(src, "node1")
+            assert "node0" not in path

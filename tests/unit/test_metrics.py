@@ -1,0 +1,115 @@
+"""Unit tests for metrics collection and summaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import MetricsCollector, TimeSeries
+from repro.metrics.summary import cdf_points, percentile, rolling_mean, summarize
+
+
+class TestTimeSeries:
+    def test_record_and_mean(self):
+        series = TimeSeries("latency")
+        series.record(0.0, 1.0)
+        series.record(1.0, 3.0)
+        assert series.mean() == 2.0
+        assert len(series) == 2
+
+    def test_between(self):
+        series = TimeSeries("x")
+        for t in range(10):
+            series.record(float(t), float(t))
+        window = series.between(2.0, 5.0)
+        assert window.values == [2.0, 3.0, 4.0]
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(TimeSeries("x").mean())
+
+
+class TestCollector:
+    def test_series_keyed_by_labels(self):
+        collector = MetricsCollector()
+        collector.record("bitrate", 0.0, 1.0, node="node1")
+        collector.record("bitrate", 0.0, 2.0, node="node2")
+        assert len(collector.all_series("bitrate")) == 2
+
+    def test_same_labels_same_series(self):
+        collector = MetricsCollector()
+        a = collector.series("x", node="n", app="a")
+        b = collector.series("x", app="a", node="n")  # order-insensitive
+        assert a is b
+
+    def test_names(self):
+        collector = MetricsCollector()
+        collector.record("a", 0.0, 1.0)
+        collector.record("b", 0.0, 1.0)
+        assert collector.names() == {"a", "b"}
+
+
+class TestSummaries:
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 99) == pytest.approx(99.01)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_cdf_points(self):
+        values, fractions = cdf_points([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert list(fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        values, fractions = cdf_points([])
+        assert len(values) == 0 and len(fractions) == 0
+
+    def test_rolling_mean(self):
+        times = [0.0, 1.0, 2.0, 3.0]
+        values = [0.0, 10.0, 0.0, 10.0]
+        smoothed = rolling_mean(times, values, window_s=10.0)
+        assert smoothed[-1] == pytest.approx(5.0)
+        assert smoothed[0] == 0.0
+
+    def test_rolling_mean_window_excludes_old(self):
+        times = [0.0, 100.0]
+        values = [1000.0, 2.0]
+        smoothed = rolling_mean(times, values, window_s=10.0)
+        assert smoothed[1] == 2.0
+
+
+class TestExport:
+    def test_series_to_csv_roundtrip(self, tmp_path):
+        series = TimeSeries("latency")
+        series.record(0.0, 1.5)
+        series.record(1.0, 2.5)
+        path = tmp_path / "latency.csv"
+        series.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time_s,value"
+        assert lines[1] == "0.0,1.5"
+
+    def test_collector_export_dir(self, tmp_path):
+        collector = MetricsCollector()
+        collector.record("bitrate", 0.0, 1.0, node="node1")
+        collector.record("bitrate", 0.0, 2.0, node="node2")
+        collector.record("latency", 0.0, 3.0)
+        paths = collector.export_dir(tmp_path / "out")
+        assert len(paths) == 3
+        names = {p.name for p in paths}
+        assert "latency.csv" in names
+        assert "bitrate__node-node1.csv" in names

@@ -1,0 +1,180 @@
+"""Unit tests for the network emulator."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.mesh.topology import full_mesh_topology, line_topology
+from repro.mesh.traces import BandwidthTrace
+from repro.net.netem import NetworkEmulator
+
+
+def make_emulator(capacities=(10.0,), **kwargs):
+    return NetworkEmulator(line_topology(list(capacities)), **kwargs)
+
+
+class TestFlowManagement:
+    def test_add_and_query_flow(self):
+        emu = make_emulator()
+        flow = emu.add_flow("f", "node1", "node2", 4.0)
+        assert flow.path == ["node1", "node2"]
+        assert emu.has_flow("f")
+
+    def test_duplicate_flow_raises(self):
+        emu = make_emulator()
+        emu.add_flow("f", "node1", "node2", 1.0)
+        with pytest.raises(SimulationError):
+            emu.add_flow("f", "node1", "node2", 1.0)
+
+    def test_negative_demand_raises(self):
+        emu = make_emulator()
+        with pytest.raises(SimulationError):
+            emu.add_flow("f", "node1", "node2", -1.0)
+
+    def test_remove_flow_idempotent(self):
+        emu = make_emulator()
+        emu.add_flow("f", "node1", "node2", 1.0)
+        emu.remove_flow("f")
+        emu.remove_flow("f")
+        assert not emu.has_flow("f")
+
+    def test_unknown_flow_raises(self):
+        with pytest.raises(SimulationError):
+            make_emulator().flow("ghost")
+
+    def test_colocated_flow_has_empty_links(self):
+        emu = make_emulator()
+        flow = emu.add_flow("f", "node1", "node1", 5.0)
+        assert flow.links == ()
+        emu.recompute()
+        assert flow.allocated_mbps == 5.0
+
+    def test_set_demand(self):
+        emu = make_emulator()
+        emu.add_flow("f", "node1", "node2", 1.0)
+        emu.set_demand("f", 3.0)
+        emu.recompute()
+        assert emu.flow("f").allocated_mbps == pytest.approx(3.0)
+
+    def test_reroute_flow(self):
+        emu = NetworkEmulator(full_mesh_topology(3))
+        emu.add_flow("f", "node1", "node2", 5.0)
+        flow = emu.reroute_flow("f", "node1", "node3")
+        assert flow.dst == "node3"
+        assert flow.demand_mbps == 5.0
+
+
+class TestAllocation:
+    def test_allocation_respects_capacity(self):
+        emu = make_emulator([10.0])
+        emu.add_flow("f1", "node1", "node2", 8.0)
+        emu.add_flow("f2", "node1", "node2", 8.0)
+        emu.recompute()
+        assert emu.flow("f1").allocated_mbps == pytest.approx(5.0)
+        assert emu.flow("f2").allocated_mbps == pytest.approx(5.0)
+
+    def test_goodput_fraction(self):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 20.0)
+        emu.recompute()
+        assert emu.flow("f").goodput_fraction == pytest.approx(0.5)
+
+    def test_capacity_follows_trace_over_time(self):
+        emu = make_emulator([10.0])
+        emu.topology.link("node1", "node2").set_trace(
+            BandwidthTrace([0, 5], [10.0, 2.0])
+        )
+        emu.add_flow("f", "node1", "node2", 20.0)
+        emu.start()
+        emu.engine.run_until(6.0)
+        assert emu.flow("f").allocated_mbps == pytest.approx(2.0)
+
+    def test_link_queries(self):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 4.0)
+        emu.recompute()
+        assert emu.link_allocated("node1", "node2") == pytest.approx(4.0)
+        assert emu.link_offered("node1", "node2") == pytest.approx(4.0)
+        assert emu.link_utilization("node1", "node2") == pytest.approx(0.4)
+        assert emu.available_bandwidth("node1", "node2") == pytest.approx(6.0)
+        # Reverse direction is idle.
+        assert emu.link_allocated("node2", "node1") == 0.0
+
+    def test_path_available_bandwidth_is_bottleneck(self):
+        emu = make_emulator([10.0, 4.0])
+        emu.add_flow("f", "node1", "node2", 2.0)
+        emu.recompute()
+        assert emu.path_available_bandwidth("node1", "node3") == pytest.approx(
+            4.0
+        )
+
+    def test_path_available_same_node_infinite(self):
+        emu = make_emulator()
+        assert emu.path_available_bandwidth("node1", "node1") == float("inf")
+
+
+class TestQueuesAndDelay:
+    def test_overload_builds_queue_delay(self):
+        emu = make_emulator([10.0], buffer_mbit=100.0)
+        emu.add_flow("f", "node1", "node2", 20.0)
+        emu.start()
+        emu.engine.run_until(5.0)
+        assert emu.queue_delay_s("node1", "node2") > 0
+        assert emu.path_delay_s("node1", "node2") > 0
+
+    def test_no_delay_without_overload(self):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 5.0)
+        emu.start()
+        emu.engine.run_until(5.0)
+        assert emu.queue_delay_s("node1", "node2") == 0.0
+
+    def test_loss_after_buffer_fills(self):
+        emu = make_emulator([10.0], buffer_mbit=5.0)
+        emu.add_flow("f", "node1", "node2", 50.0)
+        emu.start()
+        emu.engine.run_until(5.0)
+        assert emu.path_loss_fraction("node1", "node2") > 0.3
+
+    def test_queue_delay_unknown_link_raises(self):
+        with pytest.raises(TopologyError):
+            make_emulator().queue_delay_s("node1", "node3")
+
+    def test_path_delay_includes_propagation(self):
+        emu = make_emulator([10.0, 10.0])
+        expected = 2 * emu.topology.link("node1", "node2").latency_ms / 1000.0
+        assert emu.path_delay_s("node1", "node3") == pytest.approx(expected)
+
+    def test_transfer_time(self):
+        emu = make_emulator([10.0])
+        assert emu.transfer_time_s("node1", "node2", 5.0) == pytest.approx(0.5)
+        assert emu.transfer_time_s("node1", "node1", 5.0) == 0.0
+        assert emu.transfer_time_s("node1", "node2", 0.0) == 0.0
+
+
+class TestAccounting:
+    def test_offered_mbit_by_tag(self):
+        emu = make_emulator([10.0])
+        emu.add_flow("app", "node1", "node2", 4.0, tag="app")
+        emu.add_flow("probe", "node1", "node2", 1.0, tag="probe")
+        emu.start()
+        emu.engine.run_until(10.0)
+        by_tag = emu.offered_mbit_by_tag()
+        assert by_tag["app"] == pytest.approx(40.0)
+        assert by_tag["probe"] == pytest.approx(10.0)
+
+    def test_capacities_now_keys(self):
+        emu = make_emulator([10.0])
+        caps = emu.capacities_now()
+        assert caps[("node1", "node2")] == 10.0
+        assert caps[("node2", "node1")] == 10.0
+
+    def test_start_stop(self):
+        emu = make_emulator()
+        emu.start()
+        emu.start()  # idempotent
+        emu.stop()
+        emu.stop()
+
+    def test_bad_tick_raises(self):
+        with pytest.raises(SimulationError):
+            make_emulator(tick_s=0.0)

@@ -1,0 +1,171 @@
+"""Property-based tests for the network emulator and binding layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.deployment import Deployment
+from repro.core.binding import DeploymentBinding, edge_flow_id
+from repro.core.dag import Component, ComponentDAG
+from repro.mesh.topology import full_mesh_topology
+from repro.net.netem import NetworkEmulator
+
+_EPS = 1e-6
+
+NODES = ["node1", "node2", "node3"]
+
+
+@st.composite
+def flow_operations(draw):
+    """A random sequence of add/remove/set-demand/tick operations."""
+    ops = []
+    n_ops = draw(st.integers(min_value=1, max_value=25))
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["add", "remove", "demand", "tick"]))
+        if kind == "add":
+            ops.append(
+                (
+                    "add",
+                    f"f{i}",
+                    draw(st.sampled_from(NODES)),
+                    draw(st.sampled_from(NODES)),
+                    draw(st.floats(min_value=0.0, max_value=50.0)),
+                )
+            )
+        elif kind == "remove":
+            ops.append(("remove", f"f{draw(st.integers(0, n_ops))}"))
+        elif kind == "demand":
+            ops.append(
+                (
+                    "demand",
+                    f"f{draw(st.integers(0, n_ops))}",
+                    draw(st.floats(min_value=0.0, max_value=50.0)),
+                )
+            )
+        else:
+            ops.append(("tick",))
+    return ops
+
+
+class TestEmulatorInvariants:
+    @given(flow_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_allocation_always_feasible(self, ops):
+        emu = NetworkEmulator(full_mesh_topology(3, capacity_mbps=10.0))
+        for op in ops:
+            if op[0] == "add" and not emu.has_flow(op[1]):
+                emu.add_flow(op[1], op[2], op[3], op[4])
+            elif op[0] == "remove":
+                emu.remove_flow(op[1])
+            elif op[0] == "demand" and emu.has_flow(op[1]):
+                emu.set_demand(op[1], op[2])
+            elif op[0] == "tick":
+                emu.tick()
+        emu.recompute()
+        for src, dst, link in emu.topology.iter_directed_links():
+            capacity = link.capacity(src, dst, emu.now)
+            assert emu.link_allocated(src, dst) <= capacity + _EPS
+        for flow in emu.flows:
+            assert -_EPS <= flow.allocated_mbps <= flow.demand_mbps + _EPS
+            assert 0.0 <= flow.goodput_fraction <= 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=60.0),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_available_bandwidth_consistent(self, demands):
+        emu = NetworkEmulator(full_mesh_topology(2, capacity_mbps=20.0))
+        for i, demand in enumerate(demands):
+            emu.add_flow(f"f{i}", "node1", "node2", demand)
+        emu.recompute()
+        available = emu.available_bandwidth("node1", "node2")
+        allocated = emu.link_allocated("node1", "node2")
+        assert available >= -_EPS
+        assert abs((available + allocated) - 20.0) < _EPS or allocated < 20.0
+
+
+@st.composite
+def random_placements(draw):
+    """A small DAG plus an arbitrary component → node assignment."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    dag = ComponentDAG("prop")
+    for i in range(n):
+        dag.add_component(Component(f"c{i}", cpu=1, memory_mb=16))
+    for i in range(n - 1):
+        if draw(st.booleans()):
+            dag.add_dependency(
+                f"c{i}", f"c{i + 1}",
+                draw(st.floats(min_value=0.1, max_value=10.0)),
+            )
+    assignment = {
+        f"c{i}": draw(st.sampled_from(NODES)) for i in range(n)
+    }
+    return dag, assignment
+
+
+class TestBindingInvariants:
+    @given(random_placements())
+    @settings(max_examples=60, deadline=None)
+    def test_sync_flows_is_idempotent(self, scenario):
+        dag, assignment = scenario
+        deployment = Deployment("prop")
+        for name, node in assignment.items():
+            deployment.bind(name, node)
+        emu = NetworkEmulator(full_mesh_topology(3, capacity_mbps=10.0))
+        binding = DeploymentBinding(dag, deployment, emu)
+        binding.sync_flows()
+        snapshot = {
+            f.flow_id: (f.src, f.dst, f.demand_mbps) for f in emu.flows
+        }
+        binding.sync_flows()
+        assert snapshot == {
+            f.flow_id: (f.src, f.dst, f.demand_mbps) for f in emu.flows
+        }
+
+    @given(random_placements())
+    @settings(max_examples=60, deadline=None)
+    def test_flows_exist_exactly_for_inter_node_edges(self, scenario):
+        dag, assignment = scenario
+        deployment = Deployment("prop")
+        for name, node in assignment.items():
+            deployment.bind(name, node)
+        emu = NetworkEmulator(full_mesh_topology(3, capacity_mbps=10.0))
+        binding = DeploymentBinding(dag, deployment, emu)
+        binding.sync_flows()
+        expected = {
+            edge_flow_id("prop", src, dst)
+            for src, dst, _ in dag.edges()
+            if assignment[src] != assignment[dst]
+        }
+        actual = {f.flow_id for f in emu.flows}
+        assert actual == expected
+
+    @given(random_placements(), random_placements())
+    @settings(max_examples=40, deadline=None)
+    def test_sync_tracks_arbitrary_rebinds(self, first, second):
+        dag, initial = first
+        _, target = second
+        deployment = Deployment("prop")
+        for name, node in initial.items():
+            deployment.bind(name, node)
+        emu = NetworkEmulator(full_mesh_topology(3, capacity_mbps=10.0))
+        binding = DeploymentBinding(dag, deployment, emu)
+        binding.sync_flows()
+        for name in list(initial):
+            new_node = target.get(name)
+            if new_node and new_node != deployment.node_of(name):
+                deployment.rebind(
+                    name, new_node, time=0.0, restart_seconds=0.0
+                )
+        binding.sync_flows()
+        for src, dst, _ in dag.edges():
+            flow_id = edge_flow_id("prop", src, dst)
+            if deployment.colocated(src, dst):
+                assert not emu.has_flow(flow_id)
+            else:
+                flow = emu.flow(flow_id)
+                assert flow.src == deployment.node_of(src)
+                assert flow.dst == deployment.node_of(dst)

@@ -1,0 +1,177 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Engine(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        fired = []
+        for label in ("first", "second", "third"):
+            engine.schedule_at(1.0, lambda lab=label: fired.append(lab))
+        engine.run_until(2.0)
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_in_is_relative(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_in(4.0, lambda: seen.append(engine.now))
+        engine.run_until(10.0)
+        assert seen == [4.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        engine = Engine()
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_in(-1.0, lambda: None)
+
+    def test_clock_advances_to_end_time_even_when_queue_drains(self):
+        engine = Engine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run_until(100.0)
+        assert engine.now == 100.0
+
+    def test_run_until_before_now_raises(self):
+        engine = Engine()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            engine.run_until(5.0)
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = Engine()
+        fired = []
+
+        def chain():
+            fired.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule_in(1.0, chain)
+
+        engine.schedule_at(1.0, chain)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_events_after_horizon_stay_queued(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(50.0, lambda: fired.append("late"))
+        engine.run_until(10.0)
+        assert fired == []
+        assert engine.pending_events == 1
+        engine.run_until(60.0)
+        assert fired == ["late"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run_until(5.0)
+        assert fired == []
+
+    def test_cancelled_events_not_counted_pending(self):
+        engine = Engine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert engine.pending_events == 1
+
+    def test_processed_event_count(self):
+        engine = Engine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda: None)
+        engine.run_until(2.5)
+        assert engine.processed_events == 2
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self):
+        engine = Engine()
+        times = []
+        engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_fire_immediately_includes_time_zero(self):
+        engine = Engine()
+        times = []
+        engine.every(10.0, lambda: times.append(engine.now), fire_immediately=True)
+        engine.run_until(25.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_stop_prevents_future_firings(self):
+        engine = Engine()
+        times = []
+        task = engine.every(10.0, lambda: times.append(engine.now))
+        engine.schedule_at(25.0, task.stop)
+        engine.run_until(100.0)
+        assert times == [10.0, 20.0]
+        assert task.stopped
+
+    def test_stop_is_idempotent(self):
+        engine = Engine()
+        task = engine.every(1.0, lambda: None)
+        task.stop()
+        task.stop()
+        assert task.stopped
+
+    def test_stop_from_inside_callback(self):
+        engine = Engine()
+        times = []
+
+        def callback():
+            times.append(engine.now)
+            if len(times) == 2:
+                task.stop()
+
+        task = engine.every(5.0, callback)
+        engine.run_until(100.0)
+        assert times == [5.0, 10.0]
+
+    def test_zero_interval_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().every(0.0, lambda: None)
+
+
+class TestRunAll:
+    def test_run_all_drains_queue(self):
+        engine = Engine()
+        fired = []
+        for t in (1.0, 5.0, 9.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run_all()
+        assert fired == [1.0, 5.0, 9.0]
+        assert engine.now == 9.0
+
+    def test_run_all_event_cap(self):
+        engine = Engine()
+
+        def forever():
+            engine.schedule_in(1.0, forever)
+
+        engine.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            engine.run_all(max_events=100)

@@ -1,0 +1,66 @@
+"""Unit tests for topology (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.mesh.topology import MeshTopology, citylab_subset
+
+
+class TestTopologySpec:
+    def test_roundtrip(self):
+        original = citylab_subset()
+        rebuilt = MeshTopology.from_spec(original.to_spec())
+        assert set(rebuilt.node_names) == set(original.node_names)
+        assert rebuilt.node("node4").cpu_cores == 8
+        assert not rebuilt.node("node0").schedulable
+        for link in original.links:
+            a, b = link.id
+            assert rebuilt.capacity(a, b, 0.0) == original.link(
+                a, b
+            ).base_capacity(a, b)
+
+    def test_from_json_file(self, tmp_path):
+        spec = {
+            "nodes": [
+                {"name": "roof-1", "cpu_cores": 4},
+                {"name": "roof-2"},
+            ],
+            "links": [
+                {"a": "roof-1", "b": "roof-2", "capacity_mbps": 18.5},
+            ],
+        }
+        path = tmp_path / "mesh.json"
+        path.write_text(json.dumps(spec))
+        topo = MeshTopology.from_json(path)
+        assert topo.capacity("roof-1", "roof-2", 0.0) == 18.5
+        assert topo.node("roof-2").cpu_cores == 4.0  # default
+
+    def test_defaults_applied(self):
+        topo = MeshTopology.from_spec({"nodes": [{"name": "n"}]})
+        node = topo.node("n")
+        assert node.role == "worker"
+        assert node.memory_mb == 8192.0
+
+    def test_missing_nodes_key_raises(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.from_spec({"links": []})
+
+    def test_malformed_node_raises(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.from_spec({"nodes": [{"cpu_cores": 4}]})
+
+    def test_malformed_link_raises(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.from_spec(
+                {"nodes": [{"name": "a"}, {"name": "b"}],
+                 "links": [{"a": "a", "b": "b"}]}
+            )
+
+    def test_link_to_unknown_node_raises(self):
+        with pytest.raises(TopologyError):
+            MeshTopology.from_spec(
+                {"nodes": [{"name": "a"}],
+                 "links": [{"a": "a", "b": "ghost", "capacity_mbps": 1.0}]}
+            )

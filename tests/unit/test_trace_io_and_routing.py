@@ -1,0 +1,121 @@
+"""Unit tests for trace CSV I/O and the widest-path routing strategy."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError, TraceError
+from repro.mesh.node import MeshNode
+from repro.mesh.routing import Router
+from repro.mesh.topology import MeshTopology
+from repro.mesh.traces import BandwidthTrace
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path):
+        original = BandwidthTrace([0, 10, 20], [5.0, 8.0, 3.0])
+        path = tmp_path / "trace.csv"
+        original.to_csv(path)
+        loaded = BandwidthTrace.from_csv(path)
+        assert (loaded.times == original.times).all()
+        assert (loaded.values == original.values).all()
+
+    def test_header_row_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time_s,mbps\n0,5.0\n10,2.5\n")
+        trace = BandwidthTrace.from_csv(path)
+        assert trace.value_at(0.0) == 5.0
+        assert trace.value_at(10.0) == 2.5
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,5.0\n\n10,2.5\n")
+        assert BandwidthTrace.from_csv(path).value_at(10.0) == 2.5
+
+    def test_unsorted_rows_sorted(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("10,2.5\n0,5.0\n")
+        assert BandwidthTrace.from_csv(path).value_at(0.0) == 5.0
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time_s,mbps\n")
+        with pytest.raises(TraceError):
+            BandwidthTrace.from_csv(path)
+
+    def test_malformed_row_mid_file_raises(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,5.0\nbroken\n")
+        with pytest.raises(TraceError):
+            BandwidthTrace.from_csv(path)
+
+    def test_loaded_trace_drives_a_link(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("0,9.0\n30,1.5\n")
+        topo = MeshTopology()
+        topo.add_node(MeshNode("a"))
+        topo.add_node(MeshNode("b"))
+        link = topo.add_link("a", "b", capacity_mbps=100.0)
+        link.set_trace(BandwidthTrace.from_csv(path))
+        assert topo.capacity("a", "b", 0.0) == 9.0
+        assert topo.capacity("a", "b", 35.0) == 1.5
+
+
+def widest_test_topology() -> MeshTopology:
+    """a-b-d is short but thin; a-c-e-d is long but fat."""
+    topo = MeshTopology()
+    for name in "abcde":
+        topo.add_node(MeshNode(name))
+    topo.add_link("a", "b", capacity_mbps=2.0)
+    topo.add_link("b", "d", capacity_mbps=2.0)
+    topo.add_link("a", "c", capacity_mbps=50.0)
+    topo.add_link("c", "e", capacity_mbps=50.0)
+    topo.add_link("e", "d", capacity_mbps=50.0)
+    return topo
+
+
+class TestWidestPathRouting:
+    def test_min_hop_takes_the_thin_shortcut(self):
+        router = Router(widest_test_topology(), strategy="min_hop")
+        assert router.traceroute("a", "d") == ["a", "b", "d"]
+
+    def test_widest_takes_the_fat_detour(self):
+        router = Router(widest_test_topology(), strategy="widest")
+        assert router.traceroute("a", "d") == ["a", "c", "e", "d"]
+        assert router.bottleneck_bandwidth("a", "d", 0.0) == 50.0
+
+    def test_widest_prefers_fewer_hops_at_equal_width(self):
+        topo = MeshTopology()
+        for name in "abc":
+            topo.add_node(MeshNode(name))
+        topo.add_link("a", "b", capacity_mbps=10.0)
+        topo.add_link("b", "c", capacity_mbps=10.0)
+        topo.add_link("a", "c", capacity_mbps=10.0)
+        router = Router(topo, strategy="widest")
+        assert router.traceroute("a", "c") == ["a", "c"]
+
+    def test_widest_uses_base_capacity_not_live(self):
+        """Route choice must not flap with transient shaping."""
+        topo = widest_test_topology()
+        topo.link("a", "c").set_rate_limit(0.1)  # transient squeeze
+        router = Router(topo, strategy="widest")
+        assert router.traceroute("a", "d") == ["a", "c", "e", "d"]
+
+    def test_widest_partition_raises(self):
+        topo = widest_test_topology()
+        topo.add_node(MeshNode("island"))
+        router = Router(topo, strategy="widest")
+        with pytest.raises(RoutingError):
+            router.traceroute("a", "island")
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(TopologyError):
+            Router(widest_test_topology(), strategy="quantum")
+
+    def test_emulator_accepts_custom_router(self):
+        from repro.net.netem import NetworkEmulator
+
+        topo = widest_test_topology()
+        emu = NetworkEmulator(topo, router=Router(topo, strategy="widest"))
+        flow = emu.add_flow("f", "a", "d", 20.0)
+        assert flow.path == ["a", "c", "e", "d"]
+        emu.recompute()
+        assert flow.allocated_mbps == pytest.approx(20.0)
