@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Multi-tenant mesh: several applications, one control plane.
+
+Community meshes host many applications at once.  This example
+co-deploys tenants through the shared :class:`ControlPlane` and shows
+the two fleet-level guarantees:
+
+1. probe traffic does not grow with the tenant count (one shared
+   net-monitor probes each link once per epoch, fleet-wide), and
+2. when one congestion event puts every tenant in violation at the
+   same time, the fleet arbiter serializes their migrations so no two
+   applications race onto the same node within an epoch.
+
+Run:  python examples/multi_app_mesh.py
+"""
+
+from repro.config import FleetConfig
+from repro.experiments.multi_tenant import (
+    multi_tenant_contention,
+    multi_tenant_mesh,
+)
+
+
+def probe_sharing() -> None:
+    print("--- probe sharing ---")
+    print("four tenants stream over the same node1 -> node2 path;")
+    print("probe events/hour, shared fleet monitor vs private monitors:\n")
+    header = f"{'tenants':>8}  {'shared':>8}  {'private':>8}"
+    print(header)
+    print("-" * len(header))
+    for tenants in (1, 2, 4):
+        shared = multi_tenant_mesh(tenants=tenants, duration_s=240.0)
+        private = multi_tenant_mesh(
+            tenants=tenants,
+            duration_s=240.0,
+            fleet=FleetConfig(probe_sharing=False),
+        )
+        print(
+            f"{tenants:>8}  {shared.probe_events_per_hour:>8.1f}  "
+            f"{private.probe_events_per_hour:>8.1f}"
+        )
+    print(
+        "\nshared stays flat: a link is probed once per epoch no matter"
+        "\nhow many applications use it.  Private monitors multiply both"
+        "\nthe startup max-capacity flood and the periodic probes."
+    )
+
+
+def migration_arbitration() -> None:
+    print("\n--- migration arbitration ---")
+    print("a 3 Mbps throttle at the shared source node at t=60 s puts")
+    print("every tenant in violation at once; all prefer the same escape")
+    print("node, and the arbiter admits one claim per node per epoch:\n")
+    result = multi_tenant_contention(tenants=4, duration_s=180.0)
+    print(
+        f"epochs run:        {result.epoch_count}\n"
+        f"arbiter conflicts: {result.conflict_count} "
+        "(preferred target already claimed this epoch)\n"
+        f"migrations:        {result.total_migrations}, serialized as"
+    )
+    for app, count in sorted(result.migrations_by_app.items()):
+        marker = "moved" if count else "stayed put (recovered in place)"
+        print(f"  {app}: {marker}")
+    print(
+        "\nwithout the arbiter the tenants would all have restarted onto"
+        "\nthe same node inside one epoch, stacking their demand on the"
+        "\nvery links they were fleeing."
+    )
+
+
+if __name__ == "__main__":
+    probe_sharing()
+    migration_arbitration()

@@ -10,21 +10,29 @@ Public API overview:
   baseline :class:`~repro.cluster.k3s.K3sScheduler`).
 * Run dynamic re-orchestration with
   :class:`~repro.core.controller.BandwidthController`.
+* Co-deploy several applications under one
+  :class:`~repro.core.controlplane.ControlPlane` (shared probing,
+  arbitrated migrations).
 
-See ``examples/quickstart.py`` for an end-to-end walk-through.
+See ``examples/quickstart.py`` for an end-to-end walk-through and
+``examples/multi_app_mesh.py`` for the multi-tenant control plane.
 """
 
-from .config import BassConfig, MigrationConfig, ProbeConfig
+from .config import BassConfig, FleetConfig, MigrationConfig, ProbeConfig
 from .core import (
     BandwidthController,
     BassScheduler,
     Component,
     ComponentDAG,
+    ControlPlane,
     DeploymentBinding,
+    FleetArbiter,
     MigrationPlanner,
     NetMonitor,
     breadth_first_order,
     longest_path_order,
+    register_scheduler,
+    scheduler_names,
 )
 from .cluster import (
     ClusterState,
@@ -49,9 +57,12 @@ __all__ = [
     "ClusterState",
     "Component",
     "ComponentDAG",
+    "ControlPlane",
     "Deployment",
     "DeploymentBinding",
     "Engine",
+    "FleetArbiter",
+    "FleetConfig",
     "K3sScheduler",
     "MeshNode",
     "MeshTopology",
@@ -69,5 +80,7 @@ __all__ = [
     "breadth_first_order",
     "citylab_subset",
     "longest_path_order",
+    "register_scheduler",
+    "scheduler_names",
     "__version__",
 ]

@@ -291,6 +291,43 @@ def _run_fig16(quick: bool) -> None:
     )
 
 
+def _run_multitenant(quick: bool) -> None:
+    from .experiments.multi_tenant import (
+        multi_tenant_contention,
+        multi_tenant_mesh,
+    )
+
+    counts = (1, 4) if quick else (1, 2, 4, 8)
+    duration = 120.0 if quick else 240.0
+    rows = []
+    for tenants in counts:
+        result = multi_tenant_mesh(tenants=tenants, duration_s=duration)
+        rows.append(
+            [
+                tenants,
+                result.full_probes,
+                result.headroom_probes,
+                f"{result.probe_events_per_hour:.1f}",
+                result.total_migrations,
+            ]
+        )
+    print(
+        _table(
+            ["tenants", "full_probes", "headroom_probes", "probes_per_hour",
+             "migrations"],
+            rows,
+        )
+    )
+    contention = multi_tenant_contention(
+        tenants=2 if quick else 4, duration_s=140.0 if quick else 180.0
+    )
+    print(
+        f"\ncontention: {contention.conflict_count} arbiter conflicts, "
+        f"{contention.total_migrations} migrations across "
+        f"{contention.epoch_count} epochs"
+    )
+
+
 def _run_table2(quick: bool) -> None:
     from .experiments.static_placement import table2_camera_mesh
 
@@ -346,6 +383,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], None]]] = {
     "fig14cd": ("threshold x headroom sweep, fixed arrivals", _run_fig14cd),
     "fig15b": ("video bitrate by node vs migration threshold", _run_fig15b),
     "fig16": ("threshold sweep under exponential arrivals", _run_fig16),
+    "multitenant": ("probe sharing and migration arbitration at scale",
+                    _run_multitenant),
     "table2": ("camera median latency on the emulated mesh", _run_table2),
     "table3": ("per-component scheduling latency", _run_table3),
     "table4": ("DAG processing time per application", _run_table4),

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..core.registry import register_scheduler
 from ..errors import InsufficientCapacityError, SchedulingError
 from .orchestrator import ClusterState
 from .pod import PodSpec
@@ -101,3 +102,9 @@ class K3sScheduler:
 
         best = min(feasible, key=sort_key)
         return best.node_name
+
+
+@register_scheduler("k3s")
+def _schedule_k3s(dag, cluster, netem=None):  # noqa: ANN001 - registry adapter
+    """Registry adapter: k3s ignores bandwidth annotations and ``netem``."""
+    return K3sScheduler().schedule(dag.to_pods(), cluster)

@@ -28,12 +28,18 @@ class ProbeConfig:
             a headroom probe (paper: 10 % of capacity for 1 s).
         full_probe_cooldown_s: minimum spacing between max-capacity probes
             of the same link, so a flapping link is not flooded repeatedly.
+        headroom_reuse_s: window within which a link's last headroom-probe
+            result is served from cache instead of injecting fresh probe
+            traffic.  0 disables reuse (every request probes).  A shared
+            fleet monitor raises this so tenants at different cadences do
+            not multiply probe traffic on common links.
     """
 
     headroom_interval_s: float = 30.0
     probe_duration_s: float = 1.0
     headroom_probe_fraction: float = 0.10
     full_probe_cooldown_s: float = 60.0
+    headroom_reuse_s: float = 0.0
 
     def validate(self) -> None:
         if self.headroom_interval_s <= 0:
@@ -44,6 +50,8 @@ class ProbeConfig:
             raise ConfigError("headroom_probe_fraction must be in (0, 1]")
         if self.full_probe_cooldown_s < 0:
             raise ConfigError("full_probe_cooldown_s must be >= 0")
+        if self.headroom_reuse_s < 0:
+            raise ConfigError("headroom_reuse_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,41 @@ class MigrationConfig:
             raise ConfigError("improvement_margin must be >= 0")
         if self.min_residency_s is not None and self.min_residency_s < 0:
             raise ConfigError("min_residency_s must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Multi-tenant control-plane knobs (one instance per mesh).
+
+    Unlike :class:`BassConfig`, which is per application, a
+    :class:`FleetConfig` governs machinery *shared* by every tenant of
+    one mesh: the fleet-wide net-monitor and the migration arbiter.
+
+    Attributes:
+        probe_sharing: tenants share a single :class:`NetMonitor`, so
+            each link is probed once per epoch regardless of tenant
+            count.  Disabled, every app gets a private monitor (the
+            pre-control-plane behaviour) and duplicates probe traffic.
+        arbiter_enabled: arm the fleet arbiter — per controller epoch,
+            at most one application may migrate onto any given node, so
+            concurrent tenants never race onto the same node's
+            CPU/memory/bandwidth inside one epoch.
+        startup_probe_respects_cooldown: the startup max-capacity round
+            of a newly deployed app skips links the shared monitor full-
+            probed within ``full_probe_cooldown_s``, instead of
+            re-flooding them.
+        ledger_checks: after every epoch, assert the cluster resource
+            ledger is consistent (no node over-allocated).
+    """
+
+    probe_sharing: bool = True
+    arbiter_enabled: bool = True
+    startup_probe_respects_cooldown: bool = True
+    ledger_checks: bool = True
+
+    def validate(self) -> "FleetConfig":
+        """Nothing to range-check today; kept for interface symmetry."""
+        return self
 
 
 @dataclass(frozen=True)

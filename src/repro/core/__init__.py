@@ -12,6 +12,9 @@
   capacity caching and overhead accounting (§4.2).
 * :mod:`repro.core.controller` — the bandwidth controller: violation
   detection, cooldown, and migration triggering (§4.3).
+* :mod:`repro.core.controlplane` — the multi-tenant control plane:
+  shared fleet monitor, epoch loop, and migration arbiter.
+* :mod:`repro.core.registry` — the pluggable scheduler registry.
 * :mod:`repro.core.scheduler` — the BASS scheduler tying it together.
 * :mod:`repro.core.binding` — keeps the network emulator's flows in
   sync with a deployment's inter-node edges.
@@ -19,10 +22,23 @@
 
 from .binding import DeploymentBinding
 from .controller import BandwidthController, ControllerIteration
+from .controlplane import (
+    ArbiterClaim,
+    ArbiterConflict,
+    ControlPlane,
+    FleetArbiter,
+    check_cluster_ledger,
+)
 from .dag import Component, ComponentDAG
 from .explain import EdgeFate, PlacementExplanation, explain_placement
 from .migration import MigrationPlanner, Violation
 from .netmonitor import NetMonitor, ProbeResult
+from .registry import (
+    get_scheduler,
+    register_scheduler,
+    scheduler_names,
+    unregister_scheduler,
+)
 from .ordering import (
     breadth_first_order,
     hybrid_order,
@@ -34,14 +50,18 @@ from .profiling import EdgeProfile, OnlineProfiler
 from .scheduler import BassScheduler
 
 __all__ = [
+    "ArbiterClaim",
+    "ArbiterConflict",
     "BandwidthController",
     "BassScheduler",
     "Component",
     "ComponentDAG",
+    "ControlPlane",
     "ControllerIteration",
     "DeploymentBinding",
     "EdgeFate",
     "EdgeProfile",
+    "FleetArbiter",
     "MigrationPlanner",
     "NetMonitor",
     "OnlineProfiler",
@@ -50,9 +70,14 @@ __all__ = [
     "ProbeResult",
     "Violation",
     "breadth_first_order",
+    "check_cluster_ledger",
     "explain_placement",
+    "get_scheduler",
     "hybrid_order",
     "longest_path_order",
     "order_components",
     "rank_nodes",
+    "register_scheduler",
+    "scheduler_names",
+    "unregister_scheduler",
 ]

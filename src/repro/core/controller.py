@@ -21,7 +21,7 @@ migration dots on Figs 12/13 are reproduced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..cluster.orchestrator import Orchestrator
 from ..config import BassConfig
@@ -30,6 +30,9 @@ from ..net.netem import NetworkEmulator
 from .binding import DeploymentBinding
 from .migration import MigrationPlanner, Violation
 from .netmonitor import NetMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .controlplane import FleetArbiter
 
 
 @dataclass
@@ -93,6 +96,8 @@ class BandwidthController:
                 + self.config.migration.restart_seconds
             )
         self._task = None
+        self._pending: Optional[ControllerIteration] = None
+        self._pending_violations: list[Violation] = []
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -109,19 +114,53 @@ class BandwidthController:
             self._task = None
 
     # -- one evaluation -----------------------------------------------------------
+    #
+    # An evaluation runs in three phases so the multi-tenant control
+    # plane can interleave them across applications: ``observe`` (flow
+    # sync + probing, sharing a fleet-wide probed-link set), ``plan``
+    # (violation detection and candidate selection), and ``act``
+    # (migration, gated by the fleet arbiter).  ``evaluate`` chains the
+    # three, which is the standalone single-app behaviour.
 
     def evaluate(self) -> ControllerIteration:
         """Run one monitoring/migration cycle; returns its record."""
+        self.observe()
+        self.plan()
+        return self.act()
+
+    def observe(
+        self, shared_probed: Optional[set[tuple[str, str]]] = None
+    ) -> ControllerIteration:
+        """Phase 1: refresh flows and probe the app's links.
+
+        Args:
+            shared_probed: fleet-wide set of links already probed this
+                epoch; links found there are skipped, and links probed
+                here are added, so co-tenants never duplicate a probe
+                within one epoch.  Defaults to a private (per-call) set.
+        """
         now = self.netem.now
         iteration = ControllerIteration(time=now)
-        deployment = self.orchestrator.deployment(self.app)
-
+        self._pending = iteration
+        self._pending_violations = []
         # Refresh edge flows first: demands depend on component
         # availability (restart windows), which only this loop observes.
         self.binding.sync_flows()
-        iteration.full_probes_triggered = self._probe_application_links()
+        iteration.full_probes_triggered = self._probe_application_links(
+            shared_probed
+        )
+        return iteration
 
+    def plan(self) -> float:
+        """Phase 2: detect violations and select migration candidates.
+
+        Returns:
+            The maximum violation severity (0 when in spec), which the
+            fleet arbiter uses to order tenants within an epoch.
+        """
+        iteration = self._require_pending()
         if self.config.migrations_enabled:
+            deployment = self.orchestrator.deployment(self.app)
             violations = self.planner.detect_violations(
                 deployment,
                 self.netem,
@@ -133,14 +172,31 @@ class BandwidthController:
                 v.dependency for v in violations
             }
             iteration.components_over_quota = len(over_quota)
-            candidates = self.planner.select_candidates(violations)
-            iteration.candidates = candidates
-            self._update_cooldowns(over_quota, now)
+            iteration.candidates = self.planner.select_candidates(violations)
+            self._update_cooldowns(over_quota, iteration.time)
+            self._pending_violations = violations
+        return max(
+            (v.severity for v in self._pending_violations), default=0.0
+        )
+
+    def act(self, arbiter: Optional["FleetArbiter"] = None) -> ControllerIteration:
+        """Phase 3: migrate the planned candidates and record the epoch.
+
+        Args:
+            arbiter: fleet arbiter; when given, nodes claimed by *other*
+                applications this epoch are excluded from target
+                selection and successful migrations claim their target.
+        """
+        iteration = self._require_pending()
+        now = iteration.time
+        deployment = self.orchestrator.deployment(self.app)
+        if self.config.migrations_enabled:
+            violations = self._pending_violations
             budget = self.config.migration.max_per_iteration
-            for component in candidates:
+            for component in iteration.candidates:
                 if len(iteration.migrated) >= budget:
                     break
-                if self._try_migrate(component, deployment, now):
+                if self._try_migrate(component, deployment, now, arbiter):
                     iteration.migrated.append(component)
                     continue
                 # The selected endpoint cannot move usefully (no target
@@ -152,22 +208,34 @@ class BandwidthController:
                 ):
                     if partner in iteration.migrated:
                         continue
-                    if self._try_migrate(partner, deployment, now):
+                    if self._try_migrate(partner, deployment, now, arbiter):
                         iteration.migrated.append(partner)
                         break
             if iteration.migrated:
                 self.binding.sync_flows()
         self.iterations.append(iteration)
+        self._pending = None
+        self._pending_violations = []
         return iteration
 
     # -- internals ----------------------------------------------------------------
 
-    def _probe_application_links(self) -> int:
+    def _require_pending(self) -> ControllerIteration:
+        if self._pending is None:
+            raise MigrationError(
+                f"controller for {self.app!r}: observe() must run before "
+                "plan()/act()"
+            )
+        return self._pending
+
+    def _probe_application_links(
+        self, shared_probed: Optional[set[tuple[str, str]]] = None
+    ) -> int:
         """Headroom-probe links under the app's edges; escalate to full
         probes when headroom is violated (capacity may have changed)."""
         full_probes = 0
         deployment = self.orchestrator.deployment(self.app)
-        probed: set[tuple[str, str]] = set()
+        probed = shared_probed if shared_probed is not None else set()
         for src, dst, _ in self.binding.inter_node_edges():
             src_node = deployment.node_of(src)
             dst_node = deployment.node_of(dst)
@@ -214,7 +282,13 @@ class BandwidthController:
                 partners.append(violation.component)
         return partners
 
-    def _try_migrate(self, component: str, deployment, now: float) -> bool:
+    def _try_migrate(
+        self,
+        component: str,
+        deployment,
+        now: float,
+        arbiter: Optional["FleetArbiter"] = None,
+    ) -> bool:
         """All per-component gates, then the migration itself."""
         if not self._cooldown_elapsed(component, now):
             return False
@@ -223,24 +297,49 @@ class BandwidthController:
         last = self._last_migrated_at.get(component)
         if last is not None and now - last < self.min_residency_s:
             return False
-        if self._migrate_one(component, deployment):
+        if self._migrate_one(component, deployment, arbiter):
             self._last_migrated_at[component] = now
             self._violating_since.pop(component, None)
             return True
         return False
 
-    def _migrate_one(self, component: str, deployment) -> bool:
+    def _migrate_one(
+        self,
+        component: str,
+        deployment,
+        arbiter: Optional["FleetArbiter"] = None,
+    ) -> bool:
         """Pick a target and migrate; False when no suitable node exists."""
         spec = self.binding.dag.component(component)
         if spec.pinned_node is not None:
             return False  # pinned components (clients) never move
+        claimed = (
+            arbiter.nodes_claimed_by_others(self.app)
+            if arbiter is not None
+            else set()
+        )
         target = self.planner.select_target(
             component,
             deployment,
             self.orchestrator.cluster,
             self.netem,
+            exclude=claimed or None,
             achieved_mbps_of=self.binding.achieved_mbps,
         )
+        if claimed:
+            # Another tenant already claimed node(s) this epoch: record a
+            # conflict whenever arbitration changed this app's choice.
+            preferred = self.planner.select_target(
+                component,
+                deployment,
+                self.orchestrator.cluster,
+                self.netem,
+                achieved_mbps_of=self.binding.achieved_mbps,
+            )
+            if preferred is not None and preferred != target:
+                arbiter.record_conflict(
+                    self.netem.now, self.app, component, preferred, target
+                )
         if target is None:
             return False
         restart = self.orchestrator.restart_seconds
@@ -255,6 +354,8 @@ class BandwidthController:
             )
         except MigrationError:
             return False
+        if arbiter is not None:
+            arbiter.claim(self.netem.now, self.app, component, target)
         # Re-arm the edge flows the moment the restart window closes —
         # until then the component's edges rightly carry zero demand.
         self.netem.engine.schedule_in(restart + 1e-6, self.binding.sync_flows)

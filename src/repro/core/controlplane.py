@@ -1,0 +1,297 @@
+"""The multi-tenant control plane.
+
+The paper's evaluation (§6) co-deploys up to three applications on one
+mesh.  Each application still owns its DAG, deployment binding, and
+:class:`~repro.core.controller.BandwidthController`, but the machinery
+that touches the *shared substrate* is owned once per mesh by a
+:class:`ControlPlane`:
+
+* **Shared net-monitor** — one :class:`~repro.core.netmonitor.NetMonitor`
+  serves every tenant, so startup max-capacity floods respect one
+  fleet-wide per-link cooldown and periodic headroom probes are
+  deduplicated per link per epoch regardless of tenant count.
+* **Epoch loop** — tenants with the same probing cadence share one
+  periodic task.  Each epoch runs in three phases across all tenants:
+  ``observe`` (flow sync + shared probing), ``plan`` (violation
+  detection), ``act`` (migration).  Acting order is deterministic:
+  highest violation severity first, ties broken by application name.
+* **Fleet arbiter** — a per-epoch claims board.  When an application
+  migrates a component onto a node, that node is claimed for the rest
+  of the epoch; other applications' target selection excludes it, so
+  two tenants never race their restarts onto the same node's
+  CPU/memory/bandwidth inside one epoch.  Deflected choices are logged
+  as conflicts for the scalability reports.
+
+A mesh with a single tenant behaves exactly as the pre-control-plane
+harness did: one monitor, one controller, same probe order, same
+migration decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..cluster.orchestrator import ClusterState, Orchestrator
+from ..config import FleetConfig, ProbeConfig
+from ..errors import SchedulingError
+from ..net.netem import NetworkEmulator
+from .controller import BandwidthController, ControllerIteration
+from .netmonitor import NetMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Engine, PeriodicTask
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class ArbiterClaim:
+    """One admitted migration: ``app`` moved ``component`` to ``node``."""
+
+    time: float
+    app: str
+    component: str
+    node: str
+
+
+@dataclass(frozen=True)
+class ArbiterConflict:
+    """A migration choice deflected by another tenant's claim.
+
+    ``granted`` is the node actually used instead of the preferred one
+    (None when no alternative qualified and the migration waited for the
+    next epoch).
+    """
+
+    time: float
+    app: str
+    component: str
+    preferred: str
+    granted: Optional[str]
+
+
+class FleetArbiter:
+    """Per-epoch migration claims board shared by all tenants.
+
+    Within one controller epoch, the first application to migrate onto a
+    node claims it; subsequent applications must pick elsewhere (or wait
+    an epoch).  Claims reset every epoch — this arbitrates *races*, not
+    long-term placement, which the resource ledger already owns.
+    """
+
+    def __init__(self) -> None:
+        self.claims: list[ArbiterClaim] = []
+        self.conflicts: list[ArbiterConflict] = []
+        self.epoch_count = 0
+        self._epoch_claims: dict[str, str] = {}  # node -> claiming app
+
+    def begin_epoch(self, time: float) -> None:
+        """Clear the claims board for a new epoch."""
+        self.epoch_count += 1
+        self._epoch_claims = {}
+
+    def nodes_claimed_by_others(self, app: str) -> set[str]:
+        """Nodes another application migrated onto this epoch."""
+        return {
+            node
+            for node, owner in self._epoch_claims.items()
+            if owner != app
+        }
+
+    def claim(self, time: float, app: str, component: str, node: str) -> None:
+        """Record an admitted migration, claiming ``node`` this epoch."""
+        self._epoch_claims[node] = app
+        self.claims.append(ArbiterClaim(time, app, component, node))
+
+    def record_conflict(
+        self,
+        time: float,
+        app: str,
+        component: str,
+        preferred: str,
+        granted: Optional[str],
+    ) -> None:
+        self.conflicts.append(
+            ArbiterConflict(time, app, component, preferred, granted)
+        )
+
+    @property
+    def conflict_count(self) -> int:
+        return len(self.conflicts)
+
+
+def check_cluster_ledger(cluster: ClusterState) -> None:
+    """Assert no node's ledger is over-allocated (never goes negative).
+
+    Raises:
+        SchedulingError: naming the offending node, should any
+            orchestration path ever oversubscribe CPU or memory.
+    """
+    for node in cluster.schedulable_nodes():
+        allocated = node.allocated
+        capacity = node.capacity
+        if (
+            allocated.cpu > capacity.cpu + _EPSILON
+            or allocated.memory_mb > capacity.memory_mb + _EPSILON
+        ):
+            raise SchedulingError(
+                f"ledger violation: node {node.node_name!r} allocated "
+                f"{allocated} beyond capacity {capacity}"
+            )
+
+
+class ControlPlane:
+    """Owns the shared monitor, epoch loop, and arbiter for one mesh.
+
+    Args:
+        netem: the mesh's network emulator (its engine drives epochs).
+        orchestrator: executes migrations; supplies the cluster ledger.
+        config: fleet-level knobs; defaults share probes and arbitrate.
+    """
+
+    def __init__(
+        self,
+        netem: NetworkEmulator,
+        orchestrator: Orchestrator,
+        *,
+        config: Optional[FleetConfig] = None,
+    ) -> None:
+        self.netem = netem
+        self.orchestrator = orchestrator
+        self.config = (config if config is not None else FleetConfig()).validate()
+        self.arbiter: Optional[FleetArbiter] = (
+            FleetArbiter() if self.config.arbiter_enabled else None
+        )
+        self._monitor: Optional[NetMonitor] = None
+        self._controllers: dict[str, BandwidthController] = {}
+        self._tasks: dict[float, "PeriodicTask"] = {}
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def engine(self) -> "Engine":
+        return self.netem.engine
+
+    @property
+    def monitor(self) -> Optional[NetMonitor]:
+        """The shared fleet monitor (None until the first tenant)."""
+        return self._monitor
+
+    @property
+    def tenants(self) -> list[str]:
+        """Managed application names, in registration order."""
+        return list(self._controllers)
+
+    def controller(self, app: str) -> BandwidthController:
+        try:
+            return self._controllers[app]
+        except KeyError:
+            raise SchedulingError(
+                f"app {app!r} is not managed by this control plane"
+            ) from None
+
+    # -- monitor sharing ---------------------------------------------------
+
+    def monitor_for(self, probe_config: Optional[ProbeConfig]) -> NetMonitor:
+        """The monitor a new tenant should use.
+
+        With probe sharing on, every tenant gets the one fleet monitor
+        (created from the *first* tenant's probe configuration — later
+        tenants share its cadence parameters).  Otherwise each call
+        returns a fresh private monitor, the legacy behaviour.
+        """
+        if not self.config.probe_sharing:
+            return NetMonitor(self.netem, probe_config)
+        if self._monitor is None:
+            self._monitor = NetMonitor(self.netem, probe_config)
+        return self._monitor
+
+    def startup_probe(self, monitor: NetMonitor) -> int:
+        """Run a tenant's startup max-capacity round on ``monitor``.
+
+        Returns the number of links actually flooded — zero when the
+        shared monitor probed them all within its cooldown already.
+        """
+        return monitor.probe_all_links(
+            force=not self.config.startup_probe_respects_cooldown
+        )
+
+    # -- tenant lifecycle --------------------------------------------------
+
+    def register(self, controller: BandwidthController) -> None:
+        """Adopt a controller into the fleet epoch loop.
+
+        Tenants sharing a ``headroom_interval_s`` share one periodic
+        task; a new cadence arms a new task starting now.  The
+        controller must not also be started standalone.
+        """
+        app = controller.app
+        if app in self._controllers:
+            raise SchedulingError(
+                f"app {app!r} is already managed by this control plane"
+            )
+        self._controllers[app] = controller
+        interval = controller.config.probe.headroom_interval_s
+        if interval not in self._tasks:
+            self._tasks[interval] = self.engine.every(
+                interval, lambda interval=interval: self.run_epoch(interval)
+            )
+
+    def deregister(self, app: str) -> None:
+        """Drop a tenant (e.g. on teardown); idle cadences are disarmed."""
+        controller = self._controllers.pop(app, None)
+        if controller is None:
+            return
+        interval = controller.config.probe.headroom_interval_s
+        still_used = any(
+            c.config.probe.headroom_interval_s == interval
+            for c in self._controllers.values()
+        )
+        if not still_used and interval in self._tasks:
+            self._tasks.pop(interval).stop()
+
+    def stop(self) -> None:
+        """Disarm every epoch task (tenants stay registered)."""
+        for task in self._tasks.values():
+            task.stop()
+        self._tasks = {}
+
+    # -- the fleet epoch ---------------------------------------------------
+
+    def run_epoch(
+        self, interval: Optional[float] = None
+    ) -> list[ControllerIteration]:
+        """One fleet epoch over the tenants of one probing cadence.
+
+        Phases: every tenant observes (flow sync + probing, sharing one
+        probed-link set so each link is probed at most once), every
+        tenant plans, then tenants act ordered by violation severity
+        (worst first; ties by app name) under the arbiter.  With
+        ``interval=None`` all tenants participate (manual driving).
+        """
+        group = [
+            controller
+            for controller in self._controllers.values()
+            if interval is None
+            or controller.config.probe.headroom_interval_s == interval
+        ]
+        if not group:
+            return []
+        if self.arbiter is not None:
+            self.arbiter.begin_epoch(self.netem.now)
+        shared_probed: Optional[set[tuple[str, str]]] = (
+            set() if self.config.probe_sharing else None
+        )
+        for controller in group:
+            controller.observe(shared_probed=shared_probed)
+        ranked = sorted(
+            ((controller.plan(), controller) for controller in group),
+            key=lambda pair: (-pair[0], pair[1].app),
+        )
+        iterations = [
+            controller.act(self.arbiter) for _, controller in ranked
+        ]
+        if self.config.ledger_checks:
+            check_cluster_ledger(self.orchestrator.cluster)
+        return iterations

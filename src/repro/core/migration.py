@@ -66,6 +66,29 @@ class Violation:
     def headroom_violated(self) -> bool:
         return self.available_mbps < self.headroom_mbps
 
+    @property
+    def severity(self) -> float:
+        """How far out of spec the edge is, in [0, 2].
+
+        The goodput gap (starvation) and the headroom deficit (eroded
+        safety margin) each contribute up to 1.  The fleet arbiter uses
+        the per-app maximum to order tenants within an epoch: the worst-
+        off application migrates first.
+        """
+        goodput_gap = max(0.0, 1.0 - self.goodput)
+        if self.headroom_mbps > 0:
+            headroom_gap = max(
+                0.0,
+                min(
+                    1.0,
+                    (self.headroom_mbps - self.available_mbps)
+                    / self.headroom_mbps,
+                ),
+            )
+        else:
+            headroom_gap = 0.0
+        return goodput_gap + headroom_gap
+
 
 class MigrationPlanner:
     """Selects migration candidates and their target nodes.

@@ -21,7 +21,7 @@ application traffic.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..config import ProbeConfig
@@ -29,7 +29,8 @@ from ..errors import TopologyError
 from ..net.netem import NetworkEmulator
 
 #: Probe flow ids must be unique across *all* monitors sharing one
-#: emulator (one monitor per application is the normal deployment).
+#: emulator (the control plane shares one monitor per mesh; standalone
+#: per-application monitors remain supported).
 _PROBE_SEQUENCE = itertools.count(1)
 
 
@@ -64,8 +65,10 @@ class NetMonitor:
         self._capacity_cache: dict[tuple[str, str], float] = {}
         self._cache_time: dict[tuple[str, str], float] = {}
         self._last_full_probe: dict[tuple[str, str], float] = {}
+        self._last_headroom: dict[tuple[str, str], ProbeResult] = {}
         self.full_probe_count = 0
         self.headroom_probe_count = 0
+        self.headroom_cache_hits = 0
         self.probe_log: list[ProbeResult] = []
 
     # -- probe traffic injection ---------------------------------------------
@@ -117,19 +120,57 @@ class NetMonitor:
             return True
         return self.netem.now - last >= self.config.full_probe_cooldown_s
 
-    def probe_all_links(self) -> None:
-        """Startup round: max-capacity probe of every directed link (§4.2)."""
+    def probe_all_links(self, *, force: bool = False) -> int:
+        """Startup round: max-capacity probe of every directed link (§4.2).
+
+        Honours the per-link ``full_probe_cooldown_s``: links this
+        monitor full-probed within the cooldown are *not* re-flooded, so
+        on a shared fleet monitor, deploying a second application moments
+        after the first triggers no duplicate startup flood.  ``force``
+        restores the unconditional probe of every link.
+
+        Returns:
+            The number of links actually probed.
+        """
+        probed = 0
         for src, dst, _ in self.netem.topology.iter_directed_links():
-            self.full_probe(src, dst)
+            if force or self.full_probe_allowed(src, dst):
+                self.full_probe(src, dst)
+                probed += 1
+        return probed
 
     # -- headroom probing ----------------------------------------------------------
 
     def headroom_probe(
-        self, src: str, dst: str, headroom_mbps: float
+        self,
+        src: str,
+        dst: str,
+        headroom_mbps: float,
+        *,
+        reuse_s: Optional[float] = None,
     ) -> ProbeResult:
         """Check that ``headroom_mbps`` of spare capacity exists on the
-        direct link, injecting only a small probe (never a flood)."""
+        direct link, injecting only a small probe (never a flood).
+
+        When the link was headroom-probed within ``reuse_s`` seconds
+        (default: the config's ``headroom_reuse_s``), the cached
+        measurement is served instead of injecting fresh traffic — the
+        ``headroom_ok`` verdict is re-evaluated against *this* caller's
+        requirement, so tenants with different headroom needs share one
+        measurement.  Cache hits are not probe events: they are counted
+        in ``headroom_cache_hits`` and do not enter ``probe_log``.
+        """
         key = (src, dst)
+        if reuse_s is None:
+            reuse_s = self.config.headroom_reuse_s
+        if reuse_s > 0:
+            recent = self._last_headroom.get(key)
+            if recent is not None and self.netem.now - recent.time < reuse_s:
+                self.headroom_cache_hits += 1
+                return replace(
+                    recent,
+                    headroom_ok=recent.available_mbps >= headroom_mbps,
+                )
         cached = self._capacity_cache.get(key, self.netem.capacity(src, dst))
         probe_rate = min(
             cached * self.config.headroom_probe_fraction, headroom_mbps
@@ -146,6 +187,7 @@ class NetMonitor:
             available_mbps=available,
             headroom_ok=available >= headroom_mbps,
         )
+        self._last_headroom[key] = result
         self.probe_log.append(result)
         return result
 
@@ -186,6 +228,12 @@ class NetMonitor:
         return self.netem.flow(flow_id).goodput_fraction
 
     # -- overhead accounting (§6.3.4) ----------------------------------------------------
+
+    def probe_events_per_hour(self) -> float:
+        """Probe events (full + headroom) per simulated hour so far."""
+        if self.netem.now <= 0:
+            return 0.0
+        return len(self.probe_log) * 3600.0 / self.netem.now
 
     def probe_overhead_fraction(self) -> float:
         """Probe traffic as a fraction of all traffic carried so far."""

@@ -1,0 +1,95 @@
+"""Pluggable scheduler registry.
+
+Placement strategies register themselves by name; the experiment
+harness resolves every scheduler through :func:`get_scheduler` instead
+of a hard-coded if/elif ladder, so new strategies plug in without
+touching harness code:
+
+    @register_scheduler("my-strategy")
+    def _schedule(dag, cluster, netem=None):
+        return {...component -> node...}
+
+A registered scheduler is a callable ``(dag, cluster, netem) -> dict``
+mapping every component of ``dag`` to a node name, committing resource
+allocations against ``cluster`` as it places (both built-in scheduler
+families already do).  ``netem`` may be ``None`` for bandwidth-oblivious
+strategies.
+
+The built-in entries ("k3s" and the "bass-*" heuristics) live next to
+their scheduler classes in :mod:`repro.cluster.k3s` and
+:mod:`repro.core.scheduler`; they are imported lazily on first lookup
+so this module stays import-cycle free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.orchestrator import ClusterState
+    from ..net.netem import NetworkEmulator
+    from .dag import ComponentDAG
+
+SchedulerFn = Callable[
+    ["ComponentDAG", "ClusterState", "Optional[NetworkEmulator]"],
+    dict[str, str],
+]
+
+_REGISTRY: dict[str, SchedulerFn] = {}
+
+
+def _ensure_builtins() -> None:
+    """Import the modules whose import side-effect registers built-ins."""
+    from ..cluster import k3s  # noqa: F401
+    from . import scheduler  # noqa: F401
+
+
+def register_scheduler(
+    name: str, *aliases: str
+) -> Callable[[SchedulerFn], SchedulerFn]:
+    """Decorator registering a scheduler under ``name`` (and aliases).
+
+    Raises:
+        ConfigError: if any name is already taken (schedulers are
+            identities; silent replacement would corrupt comparisons).
+    """
+
+    def decorator(fn: SchedulerFn) -> SchedulerFn:
+        for entry in (name, *aliases):
+            if entry in _REGISTRY:
+                raise ConfigError(
+                    f"scheduler {entry!r} is already registered"
+                )
+            _REGISTRY[entry] = fn
+        return fn
+
+    return decorator
+
+
+def unregister_scheduler(name: str) -> None:
+    """Remove a registration (plugin teardown and tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scheduler(name: str) -> SchedulerFn:
+    """Resolve a scheduler by name.
+
+    Raises:
+        ConfigError: for unknown names, listing what is registered.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{scheduler_names()}"
+        ) from None
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """Every registered scheduler name, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))

@@ -20,6 +20,7 @@ from ..net.netem import NetworkEmulator
 from .dag import Component, ComponentDAG
 from .ordering import order_components
 from .placement import PlacementEngine
+from .registry import register_scheduler
 
 
 def dag_from_pods(app: str, pods: Sequence[PodSpec]) -> ComponentDAG:
@@ -113,3 +114,17 @@ class BassScheduler:
             return {}
         dag = dag_from_pods(pods[0].app, pods)
         return self.schedule(dag, cluster, netem)
+
+
+def _register_bass_heuristic(heuristic: str) -> None:
+    @register_scheduler(f"bass-{heuristic.replace('_', '-')}")
+    def _schedule(
+        dag: ComponentDAG,
+        cluster: ClusterState,
+        netem: Optional[NetworkEmulator] = None,
+    ) -> dict[str, str]:
+        return BassScheduler(heuristic).schedule(dag, cluster, netem)
+
+
+for _heuristic in ("bfs", "longest_path", "hybrid"):
+    _register_bass_heuristic(_heuristic)

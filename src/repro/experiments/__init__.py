@@ -28,6 +28,12 @@ from .motivation import (
     fig4_pion_bottleneck,
     fig5_socialnet_throttle,
 )
+from .multi_tenant import (
+    MultiTenantResult,
+    StreamPairApp,
+    multi_tenant_contention,
+    multi_tenant_mesh,
+)
 from .overheads import (
     probing_overhead,
     table3_scheduling_latency,
@@ -43,6 +49,8 @@ from .thresholds import fig14cd_threshold_sweep, fig16_exponential_thresholds
 __all__ = [
     "AppHandle",
     "ExperimentEnv",
+    "MultiTenantResult",
+    "StreamPairApp",
     "ablate_cooldown",
     "ablate_headroom_probing",
     "ablate_hybrid_heuristic",
@@ -64,6 +72,8 @@ __all__ = [
     "fig14cd_threshold_sweep",
     "fig15b_video_thresholds",
     "fig16_exponential_thresholds",
+    "multi_tenant_contention",
+    "multi_tenant_mesh",
     "probing_overhead",
     "run_timeline",
     "table1_migration_iterations",

@@ -12,22 +12,25 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from ..apps.base import Application
-from ..cluster.k3s import K3sScheduler
 from ..cluster.orchestrator import ClusterState, Orchestrator
-from ..config import BassConfig
+from ..config import BassConfig, FleetConfig
 from ..core.binding import DeploymentBinding
 from ..core.controller import BandwidthController
+from ..core.controlplane import ControlPlane
 from ..core.dag import ComponentDAG
 from ..core.netmonitor import NetMonitor
-from ..core.scheduler import BassScheduler
-from ..errors import ConfigError
+from ..core.registry import get_scheduler, scheduler_names
 from ..mesh.topology import MeshTopology, citylab_subset
 from ..net.netem import NetworkEmulator
 from ..sim.engine import Engine
 from ..sim.rng import RngStreams
 
-#: Scheduler names accepted throughout the experiment harness.
-SCHEDULER_NAMES = ("k3s", "bass-bfs", "bass-longest-path", "bass-hybrid")
+#: Scheduler names accepted throughout the experiment harness.  Kept as
+#: a tuple for backwards compatibility; the registry
+#: (:mod:`repro.core.registry`) is the source of truth, and schedulers
+#: registered after import time are resolvable even though they are not
+#: reflected here.
+SCHEDULER_NAMES = scheduler_names()
 
 
 @dataclass
@@ -40,6 +43,9 @@ class ExperimentEnv:
     cluster: ClusterState
     orchestrator: Orchestrator
     rng: RngStreams
+    #: Multi-tenant runtime: shared monitor, epoch loop, arbiter.  None
+    #: only for hand-assembled envs that bypass :func:`build_env`.
+    control_plane: Optional[ControlPlane] = None
 
 
 @dataclass
@@ -67,6 +73,7 @@ def build_env(
     buffer_mbit: float = 25.0,
     tick_s: float = 1.0,
     restart_seconds: float = 20.0,
+    fleet: Optional[FleetConfig] = None,
 ) -> ExperimentEnv:
     """Assemble an experiment substrate.
 
@@ -79,6 +86,8 @@ def build_env(
             scenarios like the social-network mesh runs).
         tick_s: fluid-model step.
         restart_seconds: migration restart cost.
+        fleet: control-plane knobs (probe sharing, arbiter); defaults
+            share probes across tenants and arbitrate migrations.
     """
     rng = RngStreams(seed)
     if topology is None:
@@ -95,6 +104,7 @@ def build_env(
     orchestrator = Orchestrator(
         cluster, engine=engine, restart_seconds=restart_seconds
     )
+    control_plane = ControlPlane(netem, orchestrator, config=fleet)
     return ExperimentEnv(
         topology=topology,
         engine=engine,
@@ -102,6 +112,7 @@ def build_env(
         cluster=cluster,
         orchestrator=orchestrator,
         rng=rng,
+        control_plane=control_plane,
     )
 
 
@@ -110,21 +121,16 @@ def schedule_with(
     dag: ComponentDAG,
     env: ExperimentEnv,
 ) -> dict[str, str]:
-    """Run the named scheduler over a DAG; commits resource allocations."""
-    if scheduler_name == "k3s":
-        return K3sScheduler().schedule(dag.to_pods(), env.cluster)
-    if scheduler_name == "bass-bfs":
-        return BassScheduler("bfs").schedule(dag, env.cluster, env.netem)
-    if scheduler_name == "bass-longest-path":
-        return BassScheduler("longest_path").schedule(
-            dag, env.cluster, env.netem
-        )
-    if scheduler_name == "bass-hybrid":
-        return BassScheduler("hybrid").schedule(dag, env.cluster, env.netem)
-    raise ConfigError(
-        f"unknown scheduler {scheduler_name!r}; expected one of "
-        f"{SCHEDULER_NAMES}"
-    )
+    """Run the named scheduler over a DAG; commits resource allocations.
+
+    Resolution goes through the scheduler registry
+    (:mod:`repro.core.registry`), so strategies added with
+    ``@register_scheduler`` are accepted alongside the built-in names.
+
+    Raises:
+        ConfigError: for names no registered scheduler answers to.
+    """
+    return get_scheduler(scheduler_name)(dag, env.cluster, env.netem)
 
 
 def deploy_app(
@@ -141,8 +147,8 @@ def deploy_app(
     Args:
         env: the substrate from :func:`build_env`.
         app: the workload model.
-        scheduler_name: ``"k3s"``, ``"bass-bfs"``, or
-            ``"bass-longest-path"``.
+        scheduler_name: any registered scheduler, e.g. ``"k3s"``,
+            ``"bass-bfs"``, or ``"bass-longest-path"``.
         config: BASS configuration; defaults reproduce §4's values.
             ``config.migrations_enabled=False`` gives the no-migration
             baselines even with the controller armed.
@@ -170,13 +176,21 @@ def deploy_app(
     binding = DeploymentBinding(dag, deployment, env.netem)
     app.on_deployed(binding)
     binding.sync_flows()
-    monitor = NetMonitor(env.netem, config.probe)
-    monitor.probe_all_links()
+    cp = env.control_plane
+    if cp is not None:
+        monitor = cp.monitor_for(config.probe)
+        cp.startup_probe(monitor)
+    else:
+        monitor = NetMonitor(env.netem, config.probe)
+        monitor.probe_all_links()
     controller = BandwidthController(
         dag.app, env.orchestrator, binding, monitor, config
     )
     if start_controller:
-        controller.start()
+        if cp is not None:
+            cp.register(controller)
+        else:
+            controller.start()
     return AppHandle(
         app=app,
         dag=dag,

@@ -1,0 +1,117 @@
+"""Integration tests for the multi-tenant control plane.
+
+Three guarantees:
+
+* **Single-app equivalence** — routing one application through the
+  control plane reproduces the pre-control-plane harness bit for bit
+  (pinned against golden numbers captured before the refactor).
+* **Determinism** — co-deployed tenants produce byte-identical
+  controller logs across independent runs with the same seed.
+* **No startup re-flood** — deploying a second application moments
+  after the first triggers no duplicate max-capacity probes.
+"""
+
+import pytest
+
+from repro.config import FleetConfig
+from repro.experiments.common import build_env, deploy_app
+from repro.experiments.migration import table1_migration_iterations
+from repro.experiments.multi_tenant import (
+    StreamPairApp,
+    multi_tenant_contention,
+    multi_tenant_mesh,
+)
+from repro.experiments.static_placement import fig10_camera_static
+
+
+class TestSingleAppEquivalence:
+    """Golden values captured on the pre-control-plane harness."""
+
+    def test_fig10_unchanged_by_control_plane(self):
+        rows = {r.scheduler: r for r in fig10_camera_static(duration_s=40.0)}
+        assert rows["bass-bfs"].mean_latency_ms == pytest.approx(
+            515.0970117527339, abs=1e-6
+        )
+        assert rows["bass-longest-path"].mean_latency_ms == pytest.approx(
+            515.1806950296051, abs=1e-6
+        )
+        assert rows["k3s"].mean_latency_ms == pytest.approx(
+            751.6616245062753, abs=1e-6
+        )
+        assert rows["bass-bfs"].inter_node_chain_hops == 1
+        assert rows["k3s"].inter_node_chain_hops == 3
+
+    def test_table1_unchanged_by_control_plane(self):
+        result = table1_migration_iterations(total_s=200.0)
+        assert result.rows == [(1, 12, 2), (2, 14, 2), (3, 4, 2)]
+
+
+class TestDeterminism:
+    def test_co_deployed_tenants_reproduce_identical_logs(self):
+        def run():
+            return multi_tenant_mesh(tenants=2, duration_s=120.0, seed=7)
+
+        first, second = run(), run()
+        assert repr(first.iterations_by_app) == repr(
+            second.iterations_by_app
+        )
+        assert first.migrations_by_app == second.migrations_by_app
+        assert first.probe_events_per_hour == second.probe_events_per_hour
+
+    def test_contention_scenario_reproduces(self):
+        first = multi_tenant_contention(tenants=3, duration_s=150.0)
+        second = multi_tenant_contention(tenants=3, duration_s=150.0)
+        assert repr(first.iterations_by_app) == repr(
+            second.iterations_by_app
+        )
+        assert first.conflict_count == second.conflict_count
+
+
+class TestStartupFlood:
+    def test_second_deploy_does_not_reflood(self):
+        env = build_env(with_traces=False)
+        deploy_app(
+            env,
+            StreamPairApp("appa"),
+            "bass-longest-path",
+            force_assignments={"sink": "node2"},
+        )
+        monitor = env.control_plane.monitor
+        after_first = monitor.full_probe_count
+        deploy_app(
+            env,
+            StreamPairApp("appb"),
+            "bass-longest-path",
+            force_assignments={"sink": "node3"},
+        )
+        # Back-to-back deploys: at most one max-capacity round per link.
+        assert monitor.full_probe_count == after_first
+
+    def test_legacy_flood_restored_when_cooldown_disabled(self):
+        env = build_env(
+            with_traces=False,
+            fleet=FleetConfig(startup_probe_respects_cooldown=False),
+        )
+        for name, sink in (("appa", "node2"), ("appb", "node3")):
+            deploy_app(
+                env,
+                StreamPairApp(name),
+                "bass-longest-path",
+                force_assignments={"sink": sink},
+            )
+        assert env.control_plane.monitor.full_probe_count == 24
+
+
+class TestArbiter:
+    def test_contention_is_arbitrated_and_conflicts_counted(self):
+        result = multi_tenant_contention(tenants=4, duration_s=180.0)
+        assert result.conflict_count > 0
+        assert result.total_migrations >= 1
+
+    def test_arbiter_off_records_no_conflicts(self):
+        result = multi_tenant_contention(
+            tenants=4,
+            duration_s=180.0,
+            fleet=FleetConfig(arbiter_enabled=False),
+        )
+        assert result.conflict_count == 0

@@ -27,6 +27,48 @@ class TestTimeSeries:
     def test_empty_mean_is_nan(self):
         assert math.isnan(TimeSeries("x").mean())
 
+    def test_between_empty_series(self):
+        window = TimeSeries("x").between(0.0, 10.0)
+        assert window.times == [] and window.values == []
+
+    def test_between_matches_linear_scan_on_random_data(self):
+        """The bisect fast path must equal the reference linear scan."""
+
+        def reference(series, start, end):
+            subset = TimeSeries(series.name, series.labels)
+            for t, v in zip(series.times, series.values):
+                if start <= t < end:
+                    subset.record(t, v)
+            return subset
+
+        rng = np.random.default_rng(1234)
+        for case in range(50):
+            times = np.sort(rng.uniform(0.0, 100.0, size=40))
+            if case % 3 == 0:  # duplicate timestamps are legal
+                times = np.repeat(times[::2], 2)
+            series = TimeSeries("x")
+            for t in times:
+                series.record(float(t), float(rng.normal()))
+            start, end = sorted(rng.uniform(-10.0, 110.0, size=2))
+            window = series.between(start, end)
+            expected = reference(series, start, end)
+            assert window.times == expected.times
+            assert window.values == expected.values
+
+    def test_between_unsorted_times_fall_back_to_scan(self):
+        series = TimeSeries("x")
+        for t, v in [(5.0, 50.0), (1.0, 10.0), (3.0, 30.0)]:
+            series.record(t, v)
+        window = series.between(1.0, 5.0)
+        assert window.times == [1.0, 3.0]
+        assert window.values == [10.0, 30.0]
+
+    def test_between_unsorted_constructor_times(self):
+        series = TimeSeries("x", times=[4.0, 2.0], values=[40.0, 20.0])
+        window = series.between(0.0, 3.0)
+        assert window.times == [2.0]
+        assert window.values == [20.0]
+
 
 class TestCollector:
     def test_series_keyed_by_labels(self):
