@@ -4,10 +4,14 @@ Usage::
 
     bass-repro list
     bass-repro run fig10 [--quick]
+    bass-repro run fig13 --quick --trace run.jsonl
+    bass-repro report run.jsonl
     bass-repro run table2
 
 ``--quick`` trims horizons so a laptop regenerates an experiment in
-seconds (shape-accurate, noisier numbers).
+seconds (shape-accurate, noisier numbers).  ``--trace`` arms the flight
+recorder for the run and writes the decision-event log as JSONL;
+``report`` renders a saved trace as a human-readable causal timeline.
 """
 
 from __future__ import annotations
@@ -405,6 +409,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="shorter horizons; shape-accurate but noisier",
     )
+    runner.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the run's decision events to a JSONL trace file",
+    )
+    reporter = sub.add_parser(
+        "report", help="render a saved trace as a causal run report"
+    )
+    reporter.add_argument("trace", help="JSONL trace written by run --trace")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -412,9 +425,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{name:10s} {EXPERIMENTS[name][0]}")
         return 0
 
+    if args.command == "report":
+        from .obs.report import read_trace, render_report
+
+        print(render_report(read_trace(args.trace)))
+        return 0
+
     description, run = EXPERIMENTS[args.experiment]
     print(f"== {args.experiment}: {description} ==\n")
-    run(args.quick)
+    if args.trace:
+        from .obs.trace import Tracer, set_default_tracer
+
+        tracer = Tracer.with_instruments()
+        previous = set_default_tracer(tracer)
+        try:
+            run(args.quick)
+        finally:
+            set_default_tracer(previous)
+        tracer.to_jsonl(args.trace)
+        print(
+            f"\ntrace: {len(tracer.events)} events -> {args.trace} "
+            f"(render with: bass-repro report {args.trace})"
+        )
+    else:
+        run(args.quick)
     return 0
 
 

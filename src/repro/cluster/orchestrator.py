@@ -14,6 +14,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 
 from ..errors import MigrationError, SchedulingError
 from ..mesh.topology import MeshTopology
+from ..obs.trace import TracerBase, resolve_tracer
 from ..sim.engine import Engine
 from .deployment import Deployment, MigrationRecord
 from .pod import PodSpec
@@ -77,12 +78,14 @@ class Orchestrator:
         *,
         engine: Optional[Engine] = None,
         restart_seconds: float = 20.0,
+        tracer: Optional[TracerBase] = None,
     ) -> None:
         if restart_seconds < 0:
             raise SchedulingError("restart_seconds must be >= 0")
         self.cluster = cluster
         self.engine = engine if engine is not None else Engine()
         self.restart_seconds = restart_seconds
+        self.tracer = resolve_tracer(tracer)
         self._deployments: dict[str, Deployment] = {}
         self._pod_specs: dict[str, dict[str, PodSpec]] = {}
 
@@ -118,6 +121,14 @@ class Orchestrator:
                     f"pod {pod.name!r} assigned to unknown node {node!r}"
                 )
             deployment.bind(pod.name, node, available_at=self.engine.now)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "placement.bound",
+                    self.engine.now,
+                    app=app,
+                    pod=pod.name,
+                    node=node,
+                )
         self._deployments[app] = deployment
         self._pod_specs[app] = {pod.name: pod for pod in pods}
         return deployment
@@ -163,6 +174,7 @@ class Orchestrator:
         *,
         reason: str = "",
         restart_override_s: Optional[float] = None,
+        trace_cause: Optional[int] = None,
     ) -> MigrationRecord:
         """Move one pod to ``target_node``, paying the restart cost.
 
@@ -171,6 +183,9 @@ class Orchestrator:
                 migration (e.g. restart plus state-transfer time for
                 stateful components, §8); defaults to the orchestrator's
                 ``restart_seconds``.
+            trace_cause: flight-recorder id of the decision event that
+                triggered this migration (links the ``restart`` event
+                into its cause chain).
 
         Raises:
             MigrationError: if the target cannot fit the pod or the pod
@@ -197,13 +212,26 @@ class Orchestrator:
             if restart_override_s is not None
             else self.restart_seconds
         )
-        return deployment.rebind(
+        record = deployment.rebind(
             pod_name,
             target_node,
             time=self.engine.now,
             restart_seconds=restart,
             reason=reason,
         )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "restart",
+                self.engine.now,
+                app=app,
+                cause=trace_cause,
+                component=pod_name,
+                **{"from": source},
+                to=target_node,
+                restart_s=restart,
+                reason=reason,
+            )
+        return record
 
     def migration_count(self, app: str) -> int:
         return len(self.deployment(app).migrations)

@@ -27,6 +27,7 @@ from ..cluster.orchestrator import Orchestrator
 from ..config import BassConfig
 from ..errors import MigrationError
 from ..net.netem import NetworkEmulator
+from ..obs.trace import TracerBase, resolve_tracer
 from .binding import DeploymentBinding
 from .migration import MigrationPlanner, Violation
 from .netmonitor import NetMonitor
@@ -56,6 +57,8 @@ class BandwidthController:
         binding: deployment ↔ network synchronization and goodput source.
         monitor: net-monitor for probing and capacity caching.
         config: thresholds, headroom, intervals, cooldown.
+        tracer: flight recorder for decision events; defaults to the
+            process default (a no-op unless ``--trace`` installed one).
     """
 
     def __init__(
@@ -65,11 +68,14 @@ class BandwidthController:
         binding: DeploymentBinding,
         monitor: NetMonitor,
         config: Optional[BassConfig] = None,
+        *,
+        tracer: Optional[TracerBase] = None,
     ) -> None:
         self.app = app
         self.orchestrator = orchestrator
         self.binding = binding
         self.monitor = monitor
+        self.tracer = resolve_tracer(tracer)
         self.config = (config if config is not None else BassConfig()).validate()
         self.netem: NetworkEmulator = monitor.netem
         self.planner = MigrationPlanner(
@@ -98,6 +104,8 @@ class BandwidthController:
         self._task = None
         self._pending: Optional[ControllerIteration] = None
         self._pending_violations: list[Violation] = []
+        self._epoch_seq = 0
+        self._pending_plan_event: Optional[int] = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -143,6 +151,11 @@ class BandwidthController:
         iteration = ControllerIteration(time=now)
         self._pending = iteration
         self._pending_violations = []
+        self._pending_plan_event = None
+        self._epoch_seq += 1
+        if self.tracer.enabled:
+            # Probes fired below are attributed to this tenant's epoch.
+            self.tracer.set_context(app=self.app, epoch=self._epoch_seq)
         # Refresh edge flows first: demands depend on component
         # availability (restart windows), which only this loop observes.
         self.binding.sync_flows()
@@ -159,6 +172,8 @@ class BandwidthController:
             fleet arbiter uses to order tenants within an epoch.
         """
         iteration = self._require_pending()
+        if self.tracer.enabled:
+            self.tracer.set_context(app=self.app, epoch=self._epoch_seq)
         if self.config.migrations_enabled:
             deployment = self.orchestrator.deployment(self.app)
             violations = self.planner.detect_violations(
@@ -175,9 +190,57 @@ class BandwidthController:
             iteration.candidates = self.planner.select_candidates(violations)
             self._update_cooldowns(over_quota, iteration.time)
             self._pending_violations = violations
+            if self.tracer.enabled and violations:
+                self._trace_plan(iteration, violations, deployment)
         return max(
             (v.severity for v in self._pending_violations), default=0.0
         )
+
+    def _trace_plan(
+        self,
+        iteration: ControllerIteration,
+        violations: list[Violation],
+        deployment,
+    ) -> None:
+        """Record each violation (cause: the probe that measured the
+        edge's path) and the epoch plan (cause: the worst violation)."""
+        worst_event = None
+        worst_severity = -1.0
+        for violation in violations:
+            event_id = self.tracer.emit(
+                "violation.detected",
+                iteration.time,
+                cause=self._probe_cause(violation, deployment),
+                component=violation.component,
+                dependency=violation.dependency,
+                goodput=violation.goodput,
+                utilization=violation.utilization,
+                available_mbps=violation.available_mbps,
+                headroom_mbps=violation.headroom_mbps,
+                severity=violation.severity,
+            )
+            if violation.severity > worst_severity:
+                worst_severity = violation.severity
+                worst_event = event_id
+        self._pending_plan_event = self.tracer.emit(
+            "epoch.plan",
+            iteration.time,
+            cause=worst_event,
+            candidates=list(iteration.candidates),
+            violations=len(violations),
+            components_over_quota=iteration.components_over_quota,
+            max_severity=worst_severity,
+        )
+
+    def _probe_cause(self, violation: Violation, deployment) -> Optional[int]:
+        """The probe event that measured the violating edge's path."""
+        src_node = deployment.node_of(violation.component)
+        dst_node = deployment.node_of(violation.dependency)
+        for a, b in self.monitor.links_of_path(src_node, dst_node):
+            event_id = self.monitor.probe_event_id(a, b)
+            if event_id is not None:
+                return event_id
+        return None
 
     def act(self, arbiter: Optional["FleetArbiter"] = None) -> ControllerIteration:
         """Phase 3: migrate the planned candidates and record the epoch.
@@ -190,6 +253,8 @@ class BandwidthController:
         iteration = self._require_pending()
         now = iteration.time
         deployment = self.orchestrator.deployment(self.app)
+        if self.tracer.enabled:
+            self.tracer.set_context(app=self.app, epoch=self._epoch_seq)
         if self.config.migrations_enabled:
             violations = self._pending_violations
             budget = self.config.migration.max_per_iteration
@@ -216,6 +281,9 @@ class BandwidthController:
         self.iterations.append(iteration)
         self._pending = None
         self._pending_violations = []
+        self._pending_plan_event = None
+        if self.tracer.enabled:
+            self.tracer.set_context(app=None, epoch=None)
         return iteration
 
     # -- internals ----------------------------------------------------------------
@@ -255,11 +323,20 @@ class BandwidthController:
 
     def _update_cooldowns(self, violating: set[str], now: float) -> None:
         """Track how long each component has been continuously violating."""
-        for component in violating:
+        # Sorted so the dict's insertion order (and with it the order of
+        # later violation.cleared trace events) is hash-seed independent.
+        for component in sorted(violating):
             self._violating_since.setdefault(component, now)
         for component in list(self._violating_since):
             if component not in violating:
-                del self._violating_since[component]
+                since = self._violating_since.pop(component)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "violation.cleared",
+                        now,
+                        component=component,
+                        duration_s=now - since,
+                    )
 
     def _cooldown_elapsed(self, component: str, now: float) -> bool:
         since = self._violating_since.get(component)
@@ -325,6 +402,8 @@ class BandwidthController:
             self.netem,
             exclude=claimed or None,
             achieved_mbps_of=self.binding.achieved_mbps,
+            tracer=self.tracer,
+            trace_cause=self._pending_plan_event,
         )
         if claimed:
             # Another tenant already claimed node(s) this epoch: record a
@@ -340,10 +419,30 @@ class BandwidthController:
                 arbiter.record_conflict(
                     self.netem.now, self.app, component, preferred, target
                 )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "migration.deflected",
+                        self.netem.now,
+                        cause=self._pending_plan_event,
+                        component=component,
+                        preferred=preferred,
+                        granted=target,
+                    )
         if target is None:
             return False
         restart = self.orchestrator.restart_seconds
         restart += self._state_transfer_s(component, deployment, target)
+        selected_event = None
+        if self.tracer.enabled:
+            selected_event = self.tracer.emit(
+                "migration.selected",
+                self.netem.now,
+                cause=self._pending_plan_event,
+                component=component,
+                **{"from": deployment.node_of(component)},
+                to=target,
+                restart_s=restart,
+            )
         try:
             self.orchestrator.migrate(
                 self.app,
@@ -351,8 +450,18 @@ class BandwidthController:
                 target,
                 reason="bandwidth violation",
                 restart_override_s=restart,
+                trace_cause=selected_event,
             )
-        except MigrationError:
+        except MigrationError as error:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "migration.aborted",
+                    self.netem.now,
+                    cause=selected_event,
+                    component=component,
+                    to=target,
+                    error=str(error),
+                )
             return False
         if arbiter is not None:
             arbiter.claim(self.netem.now, self.app, component, target)

@@ -36,6 +36,7 @@ from ..cluster.orchestrator import ClusterState, Orchestrator
 from ..config import FleetConfig, ProbeConfig
 from ..errors import SchedulingError
 from ..net.netem import NetworkEmulator
+from ..obs.trace import TracerBase, resolve_tracer
 from .controller import BandwidthController, ControllerIteration
 from .netmonitor import NetMonitor
 
@@ -156,9 +157,11 @@ class ControlPlane:
         orchestrator: Orchestrator,
         *,
         config: Optional[FleetConfig] = None,
+        tracer: Optional[TracerBase] = None,
     ) -> None:
         self.netem = netem
         self.orchestrator = orchestrator
+        self.tracer = resolve_tracer(tracer)
         self.config = (config if config is not None else FleetConfig()).validate()
         self.arbiter: Optional[FleetArbiter] = (
             FleetArbiter() if self.config.arbiter_enabled else None
@@ -202,9 +205,11 @@ class ControlPlane:
         returns a fresh private monitor, the legacy behaviour.
         """
         if not self.config.probe_sharing:
-            return NetMonitor(self.netem, probe_config)
+            return NetMonitor(self.netem, probe_config, tracer=self.tracer)
         if self._monitor is None:
-            self._monitor = NetMonitor(self.netem, probe_config)
+            self._monitor = NetMonitor(
+                self.netem, probe_config, tracer=self.tracer
+            )
         return self._monitor
 
     def startup_probe(self, monitor: NetMonitor) -> int:

@@ -25,6 +25,7 @@ from ..cluster.deployment import Deployment
 from ..cluster.orchestrator import ClusterState
 from ..net.fairness import FlowDemand, max_min_allocation
 from ..net.netem import NetworkEmulator
+from ..obs.trace import NULL_TRACER, TracerBase
 from .dag import ComponentDAG
 
 _EPSILON = 1e-9
@@ -241,6 +242,8 @@ class MigrationPlanner:
         *,
         exclude: Optional[set[str]] = None,
         achieved_mbps_of: Optional[Callable[[str, str], float]] = None,
+        tracer: Optional[TracerBase] = None,
+        trace_cause: Optional[int] = None,
     ) -> Optional[str]:
         """Choose the node to move ``component`` to.
 
@@ -299,9 +302,37 @@ class MigrationPlanner:
                     name,
                 )
             )
+        tracer = tracer if tracer is not None else NULL_TRACER
         if not candidates:
+            if tracer.enabled:
+                tracer.emit(
+                    "migration.target_ranked",
+                    netem.now,
+                    cause=trace_cause,
+                    component=component,
+                    ranking=[],
+                    chosen=None,
+                )
             return None
         candidates.sort()
+        if tracer.enabled:
+            tracer.emit(
+                "migration.target_ranked",
+                netem.now,
+                cause=trace_cause,
+                component=component,
+                ranking=[
+                    {
+                        "node": name,
+                        "neighbors": -neighbor_score,
+                        "bandwidth_ok": not bandwidth_penalty,
+                        "estimate_mbps": -negative_estimate,
+                    }
+                    for neighbor_score, bandwidth_penalty, negative_estimate, name
+                    in candidates[:5]
+                ],
+                chosen=candidates[0][3],
+            )
         return candidates[0][3]
 
     def _current_achieved(

@@ -27,6 +27,7 @@ from typing import Optional
 from ..config import ProbeConfig
 from ..errors import TopologyError
 from ..net.netem import NetworkEmulator
+from ..obs.trace import TracerBase, resolve_tracer
 
 #: Probe flow ids must be unique across *all* monitors sharing one
 #: emulator (the control plane shares one monitor per mesh; standalone
@@ -59,13 +60,20 @@ class NetMonitor:
         self,
         netem: NetworkEmulator,
         config: Optional[ProbeConfig] = None,
+        *,
+        tracer: Optional[TracerBase] = None,
     ) -> None:
         self.netem = netem
         self.config = config if config is not None else ProbeConfig()
+        self.tracer = resolve_tracer(tracer)
         self._capacity_cache: dict[tuple[str, str], float] = {}
         self._cache_time: dict[tuple[str, str], float] = {}
         self._last_full_probe: dict[tuple[str, str], float] = {}
         self._last_headroom: dict[tuple[str, str], ProbeResult] = {}
+        #: Flight-recorder id of the last probe event per link, so
+        #: downstream decisions (violations) can cite the measurement
+        #: that triggered them even across headroom-cache reuse.
+        self._probe_event_ids: dict[tuple[str, str], int] = {}
         self.full_probe_count = 0
         self.headroom_probe_count = 0
         self.headroom_cache_hits = 0
@@ -111,6 +119,15 @@ class NetMonitor:
             available_mbps=self.netem.available_bandwidth(src, dst),
         )
         self.probe_log.append(result)
+        if self.tracer.enabled:
+            self._probe_event_ids[key] = self.tracer.emit(
+                "probe.max_capacity",
+                now,
+                src=src,
+                dst=dst,
+                capacity_mbps=result.capacity_mbps,
+                available_mbps=result.available_mbps,
+            )
         return result
 
     def full_probe_allowed(self, src: str, dst: str) -> bool:
@@ -189,7 +206,23 @@ class NetMonitor:
         )
         self._last_headroom[key] = result
         self.probe_log.append(result)
+        if self.tracer.enabled:
+            self._probe_event_ids[key] = self.tracer.emit(
+                "probe.headroom",
+                result.time,
+                src=src,
+                dst=dst,
+                capacity_mbps=cached,
+                available_mbps=available,
+                required_mbps=headroom_mbps,
+                headroom_ok=result.headroom_ok,
+            )
         return result
+
+    def probe_event_id(self, src: str, dst: str) -> Optional[int]:
+        """Trace-event id of the link's most recent probe (None when the
+        link was never probed under an enabled tracer)."""
+        return self._probe_event_ids.get((src, dst))
 
     # -- cached views (what the scheduler/controller believe) ---------------------
 

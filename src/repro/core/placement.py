@@ -22,6 +22,7 @@ from ..cluster.orchestrator import ClusterState
 from ..cluster.pod import PodSpec
 from ..errors import InsufficientCapacityError
 from ..net.netem import NetworkEmulator
+from ..obs.trace import NULL_TRACER, TracerBase
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,10 @@ class PlacementEngine:
         netem: optional network emulator for bandwidth-aware preferences.
         headroom_fraction: spare link fraction kept when checking
             bandwidth feasibility of a candidate node.
+        tracer: flight recorder for ``placement.decision`` events.
+            Deliberately *not* resolved from the process default: shadow
+            placements (``explain_placement`` replays the pipeline on a
+            scratch ledger) must stay silent unless handed a tracer.
     """
 
     def __init__(
@@ -90,15 +95,19 @@ class PlacementEngine:
         netem: Optional[NetworkEmulator] = None,
         *,
         headroom_fraction: float = 0.0,
+        tracer: Optional[TracerBase] = None,
     ) -> None:
         self.cluster = cluster
         self.netem = netem
         self.headroom_fraction = headroom_fraction
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def place(
         self,
         pods: Sequence[PodSpec],
         order: Sequence[str],
+        *,
+        trace_cause: Optional[int] = None,
     ) -> dict[str, str]:
         """Assign pods to nodes following ``order``; commit allocations.
 
@@ -106,6 +115,8 @@ class PlacementEngine:
             pods: the application's pods (any order).
             order: component names in packing order (from a heuristic);
                 must be a permutation of the pod names.
+            trace_cause: flight-recorder id of the ``placement.plan``
+                event that ordered this packing, if any.
 
         Returns:
             Mapping pod name → node name.
@@ -131,6 +142,16 @@ class PlacementEngine:
                 )
             self.cluster.node(node).allocate(pod.resources)
             assignments[name] = node
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "placement.decision",
+                    self.netem.now if self.netem is not None else 0.0,
+                    app=pod.app,
+                    cause=trace_cause,
+                    pod=name,
+                    node=node,
+                    pinned=pod.pinned_node is not None,
+                )
         return assignments
 
     def _place_pinned(self, pod: PodSpec) -> str:

@@ -17,6 +17,7 @@ from ..cluster.orchestrator import ClusterState
 from ..cluster.pod import PodSpec
 from ..errors import DagError
 from ..net.netem import NetworkEmulator
+from ..obs.trace import TracerBase, resolve_tracer
 from .dag import Component, ComponentDAG
 from .ordering import order_components
 from .placement import PlacementEngine
@@ -64,11 +65,13 @@ class BassScheduler:
         heuristic: str = "longest_path",
         *,
         headroom_fraction: float = 0.0,
+        tracer: Optional[TracerBase] = None,
     ) -> None:
         if heuristic not in ("bfs", "longest_path", "hybrid"):
             raise DagError(f"unknown heuristic {heuristic!r}")
         self.heuristic = heuristic
         self.headroom_fraction = headroom_fraction
+        self.tracer = resolve_tracer(tracer)
         self.last_dag_processing_s: Optional[float] = None
 
     @property
@@ -94,10 +97,23 @@ class BassScheduler:
             Mapping component name → node name.
         """
         order = self.order(dag)
+        plan_event = None
+        if self.tracer.enabled:
+            plan_event = self.tracer.emit(
+                "placement.plan",
+                netem.now if netem is not None else 0.0,
+                app=dag.app,
+                heuristic=self.heuristic,
+                order=order,
+                dag_processing_ms=(self.last_dag_processing_s or 0.0) * 1e3,
+            )
         engine = PlacementEngine(
-            cluster, netem, headroom_fraction=self.headroom_fraction
+            cluster,
+            netem,
+            headroom_fraction=self.headroom_fraction,
+            tracer=self.tracer,
         )
-        return engine.place(dag.to_pods(), order)
+        return engine.place(dag.to_pods(), order, trace_cause=plan_event)
 
     def schedule_pods(
         self,

@@ -22,6 +22,7 @@ from ..core.netmonitor import NetMonitor
 from ..core.registry import get_scheduler, scheduler_names
 from ..mesh.topology import MeshTopology, citylab_subset
 from ..net.netem import NetworkEmulator
+from ..obs.trace import NULL_TRACER, TracerBase, resolve_tracer
 from ..sim.engine import Engine
 from ..sim.rng import RngStreams
 
@@ -46,6 +47,9 @@ class ExperimentEnv:
     #: Multi-tenant runtime: shared monitor, epoch loop, arbiter.  None
     #: only for hand-assembled envs that bypass :func:`build_env`.
     control_plane: Optional[ControlPlane] = None
+    #: Flight recorder shared by every layer of this env (the no-op
+    #: tracer unless one was passed to or resolved by :func:`build_env`).
+    tracer: TracerBase = NULL_TRACER
 
 
 @dataclass
@@ -74,6 +78,7 @@ def build_env(
     tick_s: float = 1.0,
     restart_seconds: float = 20.0,
     fleet: Optional[FleetConfig] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> ExperimentEnv:
     """Assemble an experiment substrate.
 
@@ -88,8 +93,13 @@ def build_env(
         restart_seconds: migration restart cost.
         fleet: control-plane knobs (probe sharing, arbiter); defaults
             share probes across tenants and arbitrate migrations.
+        tracer: flight recorder wired through every layer; defaults to
+            the process default (``repro.obs.trace.set_default_tracer``,
+            installed by ``bass-repro run --trace``), which is the no-op
+            tracer unless one was installed.
     """
     rng = RngStreams(seed)
+    tracer = resolve_tracer(tracer)
     if topology is None:
         topology = citylab_subset(
             with_traces=with_traces,
@@ -102,9 +112,22 @@ def build_env(
     )
     cluster = ClusterState.from_topology(topology)
     orchestrator = Orchestrator(
-        cluster, engine=engine, restart_seconds=restart_seconds
+        cluster,
+        engine=engine,
+        restart_seconds=restart_seconds,
+        tracer=tracer,
     )
-    control_plane = ControlPlane(netem, orchestrator, config=fleet)
+    control_plane = ControlPlane(
+        netem, orchestrator, config=fleet, tracer=tracer
+    )
+    if tracer.enabled:
+        tracer.emit(
+            "run.start",
+            engine.now,
+            seed=seed,
+            nodes=len(topology.nodes),
+            restart_seconds=restart_seconds,
+        )
     return ExperimentEnv(
         topology=topology,
         engine=engine,
@@ -113,6 +136,7 @@ def build_env(
         orchestrator=orchestrator,
         rng=rng,
         control_plane=control_plane,
+        tracer=tracer,
     )
 
 
@@ -181,10 +205,11 @@ def deploy_app(
         monitor = cp.monitor_for(config.probe)
         cp.startup_probe(monitor)
     else:
-        monitor = NetMonitor(env.netem, config.probe)
+        monitor = NetMonitor(env.netem, config.probe, tracer=env.tracer)
         monitor.probe_all_links()
     controller = BandwidthController(
-        dag.app, env.orchestrator, binding, monitor, config
+        dag.app, env.orchestrator, binding, monitor, config,
+        tracer=env.tracer,
     )
     if start_controller:
         if cp is not None:

@@ -9,11 +9,22 @@ them back for summaries; series export to CSV for external analysis.
 from __future__ import annotations
 
 import csv
+import re
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+#: Characters allowed verbatim in exported CSV filenames; anything else
+#: (path separators, spaces, colons from label values like
+#: ``link="node1:node2"``) is folded to ``-``.
+_UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize_filename_part(text: str) -> str:
+    cleaned = _UNSAFE_FILENAME.sub("-", text).strip("-.")
+    return cleaned or "x"
 
 
 @dataclass
@@ -105,14 +116,29 @@ class MetricsCollector:
     def export_dir(self, directory: str | Path) -> list[Path]:
         """Write every series to ``directory`` as one CSV per series.
 
-        Filenames are ``<name>[__k-v...].csv``; returns the paths.
+        Filenames are ``<name>[__k-v...].csv`` with every part
+        sanitized to filesystem-safe characters; distinct series whose
+        sanitized names collide (e.g. label values ``"a/b"`` and
+        ``"a:b"``) get a numeric suffix so no file is overwritten.
+        Returns the paths.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         written = []
+        used: set[str] = set()
         for (name, labels), series in self._series.items():
-            suffix = "__".join(f"{k}-{v}" for k, v in labels)
-            filename = f"{name}__{suffix}.csv" if suffix else f"{name}.csv"
+            parts = [_sanitize_filename_part(name)]
+            parts.extend(
+                f"{_sanitize_filename_part(k)}-{_sanitize_filename_part(v)}"
+                for k, v in labels
+            )
+            stem = "__".join(parts)
+            filename = f"{stem}.csv"
+            sequence = 2
+            while filename in used:
+                filename = f"{stem}__{sequence}.csv"
+                sequence += 1
+            used.add(filename)
             path = directory / filename
             series.to_csv(path)
             written.append(path)

@@ -30,6 +30,54 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(np.percentile(array, q))
 
 
+def p50(values: Sequence[float]) -> float:
+    """Median; NaN on empty input."""
+    return percentile(values, 50)
+
+
+def p95(values: Sequence[float]) -> float:
+    """95th percentile; NaN on empty input."""
+    return percentile(values, 95)
+
+
+def p99(values: Sequence[float]) -> float:
+    """99th percentile; NaN on empty input."""
+    return percentile(values, 99)
+
+
+def text_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+) -> str:
+    """Render a terminal-friendly histogram of ``values``.
+
+    Each line is ``lo .. hi |bar| count``.  Degenerate inputs stay
+    readable: an empty sample renders as ``(no samples)`` and a
+    zero-range sample (single value, or all equal) as one full bar.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return "(no samples)"
+    lo, hi = float(array.min()), float(array.max())
+    if lo == hi:
+        bar = "#" * width
+        return f"{lo:>10.4g} .. {hi:<10.4g} |{bar}| {array.size}"
+    counts, edges = np.histogram(array, bins=bins)
+    peak = int(counts.max())
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak)) if peak else ""
+        lines.append(
+            f"{edges[i]:>10.4g} .. {edges[i + 1]:<10.4g} "
+            f"|{bar:<{width}}| {int(count)}"
+        )
+    return "\n".join(lines)
+
+
 def summarize(values: Sequence[float]) -> Summary:
     """Compute the summary statistics the paper reports (mean, p99, ...)."""
     array = np.asarray(list(values), dtype=float)

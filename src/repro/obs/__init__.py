@@ -1,0 +1,47 @@
+"""Observability: flight-recorder tracing, instruments, run reports.
+
+The flight recorder (:mod:`repro.obs.trace`) records every orchestrator
+decision as a causally-linked event; :mod:`repro.obs.instruments` layers
+Prometheus-style counters/gauges/histograms on the metrics collector;
+:mod:`repro.obs.report` reconstructs a human-readable timeline — every
+migration with its full cause chain — from a saved trace.
+"""
+
+from .instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentRegistry,
+    StandardInstruments,
+)
+from .report import migration_chains, render_report
+from .trace import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    read_trace,
+    resolve_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "InstrumentRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "StandardInstruments",
+    "TraceEvent",
+    "Tracer",
+    "current_tracer",
+    "migration_chains",
+    "read_trace",
+    "render_report",
+    "resolve_tracer",
+    "set_default_tracer",
+]

@@ -1,0 +1,246 @@
+"""Human-readable run reports reconstructed from a flight-recorder trace.
+
+``bass-repro report <trace.jsonl>`` renders the causal story of a run:
+where every component was placed, and — for every migration — the full
+chain that led to it (headroom/goodput probe → violation → epoch plan →
+selection/deflection → restart), plus summary statistics of probes,
+violations, and restart costs.
+
+The report is built purely from the JSONL trace, so it can be produced
+long after the run, on another machine, from an operator's bug report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..metrics.summary import p50, p95, p99, text_histogram
+from .trace import TraceEvent, read_trace
+
+__all__ = [
+    "MigrationChain",
+    "cause_chain",
+    "migration_chains",
+    "render_report",
+    "read_trace",
+]
+
+
+def cause_chain(
+    by_id: dict[int, TraceEvent], event: TraceEvent
+) -> list[TraceEvent]:
+    """The event plus its transitive causes, effect-first.
+
+    Broken references and cycles terminate the walk rather than raise:
+    a report must degrade gracefully on a truncated trace file.
+    """
+    chain = [event]
+    seen = {event.id}
+    current = event
+    while current.cause is not None:
+        parent = by_id.get(current.cause)
+        if parent is None or parent.id in seen:
+            break
+        chain.append(parent)
+        seen.add(parent.id)
+        current = parent
+    return chain
+
+
+@dataclass
+class MigrationChain:
+    """One migration and every causal ancestor the trace records."""
+
+    selected: TraceEvent
+    restart: Optional[TraceEvent] = None
+    plan: Optional[TraceEvent] = None
+    violation: Optional[TraceEvent] = None
+    probe: Optional[TraceEvent] = None
+    deflections: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Probe → violation → plan → selection → restart, all present."""
+        return None not in (
+            self.probe, self.violation, self.plan, self.restart
+        )
+
+
+def migration_chains(events: Sequence[TraceEvent]) -> list[MigrationChain]:
+    """Reconstruct every migration's cause chain from a trace."""
+    by_id = {event.id: event for event in events}
+    restarts_by_cause = {
+        event.cause: event
+        for event in events
+        if event.kind == "restart" and event.cause is not None
+    }
+    deflections_by_cause: dict[int, list[TraceEvent]] = {}
+    for event in events:
+        if event.kind == "migration.deflected" and event.cause is not None:
+            deflections_by_cause.setdefault(event.cause, []).append(event)
+
+    chains = []
+    for event in events:
+        if event.kind != "migration.selected":
+            continue
+        chain = MigrationChain(selected=event)
+        chain.restart = restarts_by_cause.get(event.id)
+        for ancestor in cause_chain(by_id, event)[1:]:
+            if ancestor.kind == "epoch.plan" and chain.plan is None:
+                chain.plan = ancestor
+                chain.deflections = deflections_by_cause.get(ancestor.id, [])
+            elif (
+                ancestor.kind == "violation.detected"
+                and chain.violation is None
+            ):
+                chain.violation = ancestor
+            elif ancestor.kind.startswith("probe.") and chain.probe is None:
+                chain.probe = ancestor
+        chains.append(chain)
+    return chains
+
+
+def _describe(event: TraceEvent) -> str:
+    """One-line description of an event for the report body."""
+    data = event.data
+    prefix = f"{event.kind} @{event.time:.1f}s"
+    if event.kind == "probe.headroom":
+        return (
+            f"{prefix}: link {data.get('src')}->{data.get('dst')} had "
+            f"{data.get('available_mbps', float('nan')):.2f} of "
+            f"{data.get('capacity_mbps', float('nan')):.2f} Mbps free "
+            f"(needed {data.get('required_mbps', float('nan')):.2f}, "
+            f"ok={data.get('headroom_ok')})"
+        )
+    if event.kind == "probe.max_capacity":
+        return (
+            f"{prefix}: full probe of {data.get('src')}->{data.get('dst')} "
+            f"measured {data.get('capacity_mbps', float('nan')):.2f} Mbps"
+        )
+    if event.kind == "violation.detected":
+        return (
+            f"{prefix}: edge {data.get('component')}->"
+            f"{data.get('dependency')} goodput="
+            f"{data.get('goodput', float('nan')):.2f} utilization="
+            f"{data.get('utilization', float('nan')):.2f} "
+            f"severity={data.get('severity', float('nan')):.2f}"
+        )
+    if event.kind == "epoch.plan":
+        candidates = ", ".join(data.get("candidates", [])) or "(none)"
+        return (
+            f"{prefix}: epoch {event.epoch} planned candidates "
+            f"[{candidates}] from {data.get('violations', 0)} violation(s)"
+        )
+    if event.kind == "migration.selected":
+        return (
+            f"{prefix}: move {data.get('component')} "
+            f"{data.get('from')} -> {data.get('to')} "
+            f"(restart {data.get('restart_s', float('nan')):.1f}s)"
+        )
+    if event.kind == "migration.deflected":
+        granted = data.get("granted") or "nowhere (deferred)"
+        return (
+            f"{prefix}: {data.get('component')} deflected off "
+            f"{data.get('preferred')} -> {granted} by another tenant's claim"
+        )
+    if event.kind == "restart":
+        return (
+            f"{prefix}: {data.get('component')} restarting on "
+            f"{data.get('to')} for {data.get('restart_s', float('nan')):.1f}s"
+        )
+    extras = " ".join(f"{k}={v}" for k, v in sorted(data.items()))
+    return f"{prefix}: {extras}" if extras else prefix
+
+
+def render_report(events: Sequence[TraceEvent]) -> str:
+    """Render the full run report for a trace."""
+    if not events:
+        return "(empty trace)"
+    lines: list[str] = []
+    counts = TallyCounter(event.kind for event in events)
+    span = max(event.time for event in events)
+
+    lines.append(f"flight recorder report — {len(events)} events, "
+                 f"{span:.1f}s of simulated time")
+    lines.append("")
+    lines.append("event counts:")
+    for kind, count in sorted(counts.items()):
+        lines.append(f"  {kind:<26s} {count}")
+
+    placements = [e for e in events if e.kind == "placement.bound"]
+    if placements:
+        lines.append("")
+        lines.append("placements:")
+        for event in placements:
+            lines.append(
+                f"  @{event.time:.1f}s {event.app or '-'}: "
+                f"{event.data.get('pod')} -> {event.data.get('node')}"
+            )
+
+    chains = migration_chains(events)
+    lines.append("")
+    lines.append(f"migrations: {len(chains)}")
+    for index, chain in enumerate(chains, 1):
+        app = chain.selected.app or "-"
+        lines.append(f"  [{index}] app={app} {_describe(chain.selected)}")
+        indent = "      "
+        for label, link in (
+            ("restart", chain.restart),
+            ("plan", chain.plan),
+            ("violation", chain.violation),
+            ("probe", chain.probe),
+        ):
+            if link is not None:
+                lines.append(f"{indent}{label:<10s} {_describe(link)}")
+            else:
+                lines.append(f"{indent}{label:<10s} (missing from trace)")
+        for deflection in chain.deflections:
+            lines.append(f"{indent}deflected  {_describe(deflection)}")
+        if not chain.complete:
+            lines.append(f"{indent}!! incomplete cause chain")
+
+    deflections = [e for e in events if e.kind == "migration.deflected"]
+    restarts = [e for e in events if e.kind == "restart"]
+    restart_costs = [e.data.get("restart_s", 0.0) for e in restarts]
+    # Clamp: live available bandwidth can exceed a stale cached capacity
+    # (e.g. right after a throttle lifts), which would read as < 0.
+    utilizations = [
+        min(1.0, max(0.0, 1.0 - e.data["available_mbps"] / e.data["capacity_mbps"]))
+        for e in events
+        if e.kind == "probe.headroom"
+        and e.data.get("capacity_mbps", 0.0) > 0
+    ]
+
+    lines.append("")
+    lines.append("statistics:")
+    lines.append(
+        f"  probes: {counts.get('probe.max_capacity', 0)} full, "
+        f"{counts.get('probe.headroom', 0)} headroom"
+    )
+    lines.append(
+        f"  violations: {counts.get('violation.detected', 0)} detected, "
+        f"{counts.get('violation.cleared', 0)} cleared"
+    )
+    lines.append(
+        f"  migrations: {len(chains)} selected, {len(restarts)} restarted, "
+        f"{len(deflections)} deflected"
+    )
+    if restart_costs:
+        lines.append(
+            f"  restart seconds: p50={p50(restart_costs):.2f} "
+            f"p95={p95(restart_costs):.2f} p99={p99(restart_costs):.2f}"
+        )
+        lines.append("  restart-cost histogram:")
+        lines.extend(
+            "    " + row
+            for row in text_histogram(restart_costs, bins=6).splitlines()
+        )
+    if utilizations:
+        lines.append("  probed link-utilization histogram:")
+        lines.extend(
+            "    " + row
+            for row in text_histogram(utilizations, bins=8).splitlines()
+        )
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Flight recorder: structured, causally-linked decision tracing.
+
+Every orchestrator decision — a probe, a detected violation, an epoch
+plan, a migration, a restart — can be emitted as a :class:`TraceEvent`
+carrying simulation time, the tenant it concerns, the controller epoch,
+and a ``cause`` reference to the event that triggered it.  Walking the
+``cause`` links reconstructs the full causal chain behind any action
+(see :mod:`repro.obs.report`): goodput sample → threshold breach →
+plan → migration → restart.
+
+Tracing is opt-in and free when off: the module-level default tracer is
+:data:`NULL_TRACER`, whose ``emit`` does nothing, and instrumented hot
+paths guard event construction behind the ``enabled`` flag so a
+disabled run pays a single attribute check per site.
+
+Example:
+    >>> tracer = Tracer()
+    >>> probe = tracer.emit("probe.headroom", 30.0, src="n1", dst="n2")
+    >>> violation = tracer.emit(
+    ...     "violation.detected", 30.0, cause=probe, component="sfu"
+    ... )
+    >>> tracer.events[1].cause == probe
+    True
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+#: The core event taxonomy (emitters may add further kinds; the report
+#: treats unknown kinds as timeline annotations).  Documented in
+#: DESIGN.md's "Observability" section.
+EVENT_KINDS = (
+    "run.start",  # an experiment substrate was assembled
+    "placement.plan",  # scheduler ran a heuristic over a DAG
+    "placement.decision",  # placement engine picked a node for a pod
+    "placement.bound",  # orchestrator committed a pod → node binding
+    "probe.max_capacity",  # net-monitor flooded a link (full probe)
+    "probe.headroom",  # net-monitor checked spare capacity on a link
+    "violation.detected",  # an edge tripped a goodput/utilization trigger
+    "violation.cleared",  # an edge left the violating set
+    "epoch.plan",  # controller selected migration candidates
+    "migration.target_ranked",  # planner ranked candidate target nodes
+    "migration.selected",  # controller committed to moving a component
+    "migration.deflected",  # arbiter claims changed/blocked the choice
+    "migration.aborted",  # a selected migration failed to execute
+    "restart",  # orchestrator rebound the pod; restart window opened
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded decision, causally linked to what triggered it."""
+
+    id: int
+    kind: str
+    time: float
+    app: Optional[str] = None
+    epoch: Optional[int] = None
+    cause: Optional[int] = None
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One-line JSON form (the JSONL trace-file record)."""
+        record: dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "t": self.time,
+        }
+        if self.app is not None:
+            record["app"] = self.app
+        if self.epoch is not None:
+            record["epoch"] = self.epoch
+        if self.cause is not None:
+            record["cause"] = self.cause
+        if self.data:
+            record["data"] = self.data
+        return json.dumps(record, sort_keys=True)
+
+    @staticmethod
+    def from_json(line: str) -> "TraceEvent":
+        record = json.loads(line)
+        return TraceEvent(
+            id=int(record["id"]),
+            kind=str(record["kind"]),
+            time=float(record["t"]),
+            app=record.get("app"),
+            epoch=record.get("epoch"),
+            cause=record.get("cause"),
+            data=record.get("data", {}),
+        )
+
+
+class TracerBase:
+    """Common interface of :class:`Tracer` and :class:`NullTracer`."""
+
+    enabled: bool = False
+    events: Iterable[TraceEvent] = ()
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        *,
+        app: Optional[str] = None,
+        epoch: Optional[int] = None,
+        cause: Optional[int] = None,
+        **data: Any,
+    ) -> int:
+        raise NotImplementedError
+
+    def set_context(
+        self, app: Optional[str] = None, epoch: Optional[int] = None
+    ) -> None:
+        raise NotImplementedError
+
+
+class NullTracer(TracerBase):
+    """Disabled tracer: every operation is a no-op.
+
+    Instrumented code holds one of these by default, so tracing costs a
+    single (false) attribute check per instrumented site when off.
+    """
+
+    enabled = False
+    events: tuple[TraceEvent, ...] = ()
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        *,
+        app: Optional[str] = None,
+        epoch: Optional[int] = None,
+        cause: Optional[int] = None,
+        **data: Any,
+    ) -> int:
+        return 0
+
+    def set_context(
+        self, app: Optional[str] = None, epoch: Optional[int] = None
+    ) -> None:
+        pass
+
+
+#: The shared no-op tracer instrumented components default to.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(TracerBase):
+    """Recording tracer: an append-only, causally-linked event log.
+
+    Args:
+        instruments: optional object with an ``on_event(event)`` hook
+            (see :class:`repro.obs.instruments.StandardInstruments`)
+            that derives Prometheus-style metrics from the stream.
+    """
+
+    enabled = True
+
+    def __init__(self, instruments: Optional[Any] = None) -> None:
+        self.events: list[TraceEvent] = []
+        self.instruments = instruments
+        self._next_id = 1
+        self._app: Optional[str] = None
+        self._epoch: Optional[int] = None
+
+    @classmethod
+    def with_instruments(cls) -> "Tracer":
+        """A tracer wired to a fresh standard instrument registry."""
+        from .instruments import InstrumentRegistry, StandardInstruments
+
+        return cls(instruments=StandardInstruments(InstrumentRegistry()))
+
+    # -- context -----------------------------------------------------------
+
+    def set_context(
+        self, app: Optional[str] = None, epoch: Optional[int] = None
+    ) -> None:
+        """Default ``app``/``epoch`` stamped on subsequent events.
+
+        Controllers set this at the start of each phase so probe events
+        fired deep inside the net-monitor are attributed to the tenant
+        whose evaluation requested them.
+        """
+        self._app = app
+        self._epoch = epoch
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        *,
+        app: Optional[str] = None,
+        epoch: Optional[int] = None,
+        cause: Optional[int] = None,
+        **data: Any,
+    ) -> int:
+        """Append an event; returns its id (use as a later ``cause``)."""
+        event = TraceEvent(
+            id=self._next_id,
+            kind=kind,
+            time=time,
+            app=app if app is not None else self._app,
+            epoch=epoch if epoch is not None else self._epoch,
+            cause=cause if cause else None,
+            data=data,
+        )
+        self._next_id += 1
+        self.events.append(event)
+        if self.instruments is not None:
+            self.instruments.on_event(event)
+        return event.id
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def events_of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    # -- export ------------------------------------------------------------
+
+    def to_jsonl(self, path: str | Path) -> Path:
+        """Write the trace as one JSON object per line."""
+        path = Path(path)
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(event.to_json() + "\n")
+        return path
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace written by :meth:`Tracer.to_jsonl`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events
+
+
+# -- process default ----------------------------------------------------------
+
+_default_tracer: TracerBase = NULL_TRACER
+
+
+def set_default_tracer(tracer: Optional[TracerBase]) -> TracerBase:
+    """Install the process-default tracer; returns the previous one.
+
+    The CLI's ``run --trace`` uses this so every experiment records
+    without threading a tracer through each scenario's signature.
+    """
+    global _default_tracer
+    previous = _default_tracer
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def current_tracer() -> TracerBase:
+    """The process-default tracer (:data:`NULL_TRACER` unless set)."""
+    return _default_tracer
+
+
+def resolve_tracer(tracer: Optional[TracerBase]) -> TracerBase:
+    """An explicit tracer if given, else the process default."""
+    return tracer if tracer is not None else _default_tracer

@@ -1,7 +1,5 @@
 """Unit tests for placement explanations."""
 
-import pytest
-
 from repro.cluster.orchestrator import ClusterState
 from repro.core.dag import Component, ComponentDAG
 from repro.core.explain import explain_placement
@@ -79,3 +77,49 @@ class TestExplainPlacement:
             if not edge.colocated:
                 assert edge.path_capacity_mbps is None
                 assert edge.satisfied  # unknown capacity is not flagged
+
+
+class TestEdgeFateSatisfied:
+    def test_loopback_always_satisfied(self):
+        from repro.core.explain import EdgeFate
+
+        edge = EdgeFate(
+            src="a", dst="b", required_mbps=10_000.0, colocated=True
+        )
+        assert edge.satisfied
+
+    def test_unknown_capacity_not_flagged(self):
+        from repro.core.explain import EdgeFate
+
+        edge = EdgeFate(
+            src="a", dst="b", required_mbps=100.0, colocated=False,
+            path=("node1", "node2"), path_capacity_mbps=None,
+        )
+        assert edge.satisfied
+
+    def test_wireless_path_with_headroom_satisfied(self):
+        from repro.core.explain import EdgeFate
+
+        edge = EdgeFate(
+            src="a", dst="b", required_mbps=10.0, colocated=False,
+            path=("node1", "node2"), path_capacity_mbps=25.0,
+        )
+        assert edge.satisfied
+
+    def test_constrained_wireless_path_flagged(self):
+        from repro.core.explain import EdgeFate
+
+        edge = EdgeFate(
+            src="a", dst="b", required_mbps=100.0, colocated=False,
+            path=("node1", "node3", "node2"), path_capacity_mbps=25.0,
+        )
+        assert not edge.satisfied
+
+    def test_exact_capacity_boundary_satisfied(self):
+        from repro.core.explain import EdgeFate
+
+        edge = EdgeFate(
+            src="a", dst="b", required_mbps=25.0, colocated=False,
+            path=("node1", "node2"), path_capacity_mbps=25.0,
+        )
+        assert edge.satisfied

@@ -155,3 +155,105 @@ class TestExport:
         names = {p.name for p in paths}
         assert "latency.csv" in names
         assert "bitrate__node-node1.csv" in names
+
+
+class TestPercentileHelpers:
+    def test_p50_p95_p99(self):
+        from repro.metrics.summary import p50, p95, p99
+
+        values = list(range(1, 101))
+        assert p50(values) == pytest.approx(50.5)
+        assert p95(values) == pytest.approx(95.05)
+        assert p99(values) == pytest.approx(99.01)
+
+    def test_empty_is_nan(self):
+        from repro.metrics.summary import p50, p95, p99
+
+        for helper in (p50, p95, p99):
+            assert math.isnan(helper([]))
+
+    def test_single_sample(self):
+        from repro.metrics.summary import p50, p95, p99
+
+        for helper in (p50, p95, p99):
+            assert helper([7.0]) == 7.0
+
+
+class TestTextHistogram:
+    def test_basic_shape(self):
+        from repro.metrics.summary import text_histogram
+
+        lines = text_histogram(list(range(100)), bins=4).splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            assert "|" in line and ".." in line
+
+    def test_counts_sum_to_sample_size(self):
+        from repro.metrics.summary import text_histogram
+
+        lines = text_histogram([1.0, 2.0, 2.5, 9.0], bins=3).splitlines()
+        counts = [int(line.rsplit("|", 1)[1]) for line in lines]
+        assert sum(counts) == 4
+
+    def test_empty(self):
+        from repro.metrics.summary import text_histogram
+
+        assert text_histogram([]) == "(no samples)"
+
+    def test_single_sample_full_bar(self):
+        from repro.metrics.summary import text_histogram
+
+        line = text_histogram([3.0], width=10)
+        assert "##########" in line
+        assert line.rstrip().endswith("1")
+
+    def test_zero_range_many_samples(self):
+        from repro.metrics.summary import text_histogram
+
+        line = text_histogram([2.0] * 5)
+        assert "\n" not in line
+        assert line.rstrip().endswith("5")
+
+    def test_invalid_bins(self):
+        from repro.metrics.summary import text_histogram
+
+        with pytest.raises(ValueError):
+            text_histogram([1.0], bins=0)
+
+
+class TestExportSanitization:
+    def test_unsafe_label_values_are_sanitized(self, tmp_path):
+        collector = MetricsCollector()
+        collector.record(
+            "bitrate", 0.0, 1.0, link="node1:node2", path="a/b c"
+        )
+        paths = collector.export_dir(tmp_path / "out")
+        assert len(paths) == 1
+        name = paths[0].name
+        assert "/" not in name and ":" not in name and " " not in name
+        assert paths[0].exists()
+
+    def test_collisions_get_numeric_suffixes(self, tmp_path):
+        collector = MetricsCollector()
+        # Distinct label values that sanitize to the same filename.
+        collector.record("x", 0.0, 1.0, link="a/b")
+        collector.record("x", 0.0, 2.0, link="a:b")
+        collector.record("x", 0.0, 3.0, link="a b")
+        paths = collector.export_dir(tmp_path / "out")
+        assert len(paths) == 3
+        assert len({p.name for p in paths}) == 3
+        for path in paths:
+            assert path.exists()
+
+    def test_degenerate_name_falls_back(self, tmp_path):
+        collector = MetricsCollector()
+        collector.record("///", 0.0, 1.0)
+        paths = collector.export_dir(tmp_path / "out")
+        assert paths[0].name == "x.csv"
+
+    def test_traversal_is_neutralized(self, tmp_path):
+        collector = MetricsCollector()
+        collector.record("m", 0.0, 1.0, f="../../escape")
+        paths = collector.export_dir(tmp_path / "out")
+        assert paths[0].parent == tmp_path / "out"
+        assert ".." not in paths[0].name

@@ -1,0 +1,121 @@
+"""Unit tests for run-report reconstruction from traces."""
+
+from repro.obs.report import (
+    MigrationChain,
+    cause_chain,
+    migration_chains,
+    render_report,
+)
+from repro.obs.trace import TraceEvent, Tracer
+
+
+def sample_trace():
+    """A minimal but complete causal story: probe -> ... -> restart."""
+    tracer = Tracer()
+    tracer.emit("run.start", 0.0, seed=0)
+    probe = tracer.emit(
+        "probe.headroom", 30.0, app="socialnet",
+        src="node2", dst="node1",
+        capacity_mbps=25.0, available_mbps=1.0, required_mbps=5.0,
+        headroom_ok=False,
+    )
+    violation = tracer.emit(
+        "violation.detected", 30.0, app="socialnet", cause=probe,
+        component="sfu", dependency="db", goodput=0.2, utilization=0.9,
+        severity=1.5,
+    )
+    plan = tracer.emit(
+        "epoch.plan", 30.0, app="socialnet", epoch=1, cause=violation,
+        candidates=["sfu"], violations=1,
+    )
+    selected = tracer.emit(
+        "migration.selected", 30.0, app="socialnet", cause=plan,
+        component="sfu", to="node3", restart_s=8.0, **{"from": "node2"},
+    )
+    tracer.emit(
+        "migration.deflected", 30.0, app="socialnet", cause=plan,
+        component="other", preferred="node4", granted="node5",
+    )
+    tracer.emit(
+        "restart", 30.0, app="socialnet", cause=selected,
+        component="sfu", to="node3", restart_s=8.0, **{"from": "node2"},
+    )
+    return tracer.events
+
+
+class TestCauseChain:
+    def test_walks_to_root(self):
+        events = sample_trace()
+        by_id = {e.id: e for e in events}
+        selected = next(e for e in events if e.kind == "migration.selected")
+        kinds = [e.kind for e in cause_chain(by_id, selected)]
+        assert kinds == [
+            "migration.selected", "epoch.plan", "violation.detected",
+            "probe.headroom",
+        ]
+
+    def test_broken_reference_terminates(self):
+        event = TraceEvent(id=5, kind="restart", time=1.0, cause=99)
+        assert cause_chain({5: event}, event) == [event]
+
+    def test_cycle_terminates(self):
+        a = TraceEvent(id=1, kind="epoch.plan", time=0.0, cause=2)
+        b = TraceEvent(id=2, kind="violation.detected", time=0.0, cause=1)
+        chain = cause_chain({1: a, 2: b}, a)
+        assert [e.id for e in chain] == [1, 2]
+
+
+class TestMigrationChains:
+    def test_complete_chain_reconstructed(self):
+        chains = migration_chains(sample_trace())
+        assert len(chains) == 1
+        chain = chains[0]
+        assert chain.complete
+        assert chain.probe.kind == "probe.headroom"
+        assert chain.violation.data["component"] == "sfu"
+        assert chain.plan.epoch == 1
+        assert chain.restart.data["to"] == "node3"
+        assert len(chain.deflections) == 1
+
+    def test_missing_restart_is_incomplete(self):
+        events = [e for e in sample_trace() if e.kind != "restart"]
+        chains = migration_chains(events)
+        assert len(chains) == 1
+        assert chains[0].restart is None
+        assert not chains[0].complete
+
+    def test_no_migrations(self):
+        assert migration_chains(sample_trace()[:2]) == []
+
+    def test_empty(self):
+        assert migration_chains([]) == []
+
+
+class TestRenderReport:
+    def test_empty_trace(self):
+        assert render_report([]) == "(empty trace)"
+
+    def test_full_report_mentions_chain(self):
+        text = render_report(sample_trace())
+        assert "migrations: 1" in text
+        assert "restart" in text
+        assert "violation" in text
+        assert "probe" in text
+        assert "deflected" in text
+        assert "!! incomplete cause chain" not in text
+
+    def test_incomplete_chain_is_flagged(self):
+        events = [e for e in sample_trace() if e.kind != "restart"]
+        assert "!! incomplete cause chain" in render_report(events)
+
+    def test_statistics_section(self):
+        text = render_report(sample_trace())
+        assert "probes: 0 full, 1 headroom" in text
+        assert "violations: 1 detected" in text
+        assert "restart seconds: p50=8.00" in text
+
+
+class TestMigrationChainDataclass:
+    def test_complete_requires_all_links(self):
+        selected = TraceEvent(id=1, kind="migration.selected", time=0.0)
+        assert not MigrationChain(selected=selected).complete

@@ -1,0 +1,143 @@
+"""Unit tests for the flight-recorder tracer."""
+
+import pytest
+
+from repro.obs.trace import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    read_trace,
+    resolve_tracer,
+    set_default_tracer,
+)
+
+
+class TestTraceEvent:
+    def test_json_roundtrip(self):
+        event = TraceEvent(
+            id=7,
+            kind="migration.selected",
+            time=42.5,
+            app="socialnet",
+            epoch=3,
+            cause=4,
+            data={"component": "sfu", "to": "node3"},
+        )
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_json_omits_empty_fields(self):
+        event = TraceEvent(id=1, kind="run.start", time=0.0)
+        line = event.to_json()
+        assert "app" not in line and "cause" not in line
+        assert TraceEvent.from_json(line) == event
+
+
+class TestTracer:
+    def test_emit_assigns_sequential_ids(self):
+        tracer = Tracer()
+        first = tracer.emit("probe.headroom", 1.0, src="a", dst="b")
+        second = tracer.emit("violation.detected", 1.0, cause=first)
+        assert (first, second) == (1, 2)
+        assert tracer.events[1].cause == first
+
+    def test_context_stamps_app_and_epoch(self):
+        tracer = Tracer()
+        tracer.set_context(app="video", epoch=2)
+        tracer.emit("probe.headroom", 5.0, src="a", dst="b")
+        tracer.set_context()  # cleared
+        tracer.emit("probe.headroom", 6.0, src="a", dst="b")
+        assert tracer.events[0].app == "video"
+        assert tracer.events[0].epoch == 2
+        assert tracer.events[1].app is None
+
+    def test_explicit_app_overrides_context(self):
+        tracer = Tracer()
+        tracer.set_context(app="video")
+        tracer.emit("restart", 1.0, app="camera")
+        assert tracer.events[0].app == "camera"
+
+    def test_events_of_kind(self):
+        tracer = Tracer()
+        tracer.emit("probe.headroom", 1.0)
+        tracer.emit("restart", 2.0)
+        tracer.emit("probe.headroom", 3.0)
+        assert len(tracer.events_of_kind("probe.headroom")) == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        probe = tracer.emit("probe.headroom", 1.0, src="a", dst="b")
+        tracer.emit(
+            "violation.detected", 2.0, app="x", cause=probe, goodput=0.4
+        )
+        path = tracer.to_jsonl(tmp_path / "trace.jsonl")
+        assert read_trace(path) == tracer.events
+
+    def test_core_kinds_are_declared(self):
+        for kind in (
+            "probe.max_capacity",
+            "probe.headroom",
+            "violation.detected",
+            "epoch.plan",
+            "migration.selected",
+            "migration.deflected",
+            "placement.bound",
+            "restart",
+        ):
+            assert kind in EVENT_KINDS
+
+
+class TestNullTracer:
+    def test_is_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.emit("restart", 1.0, component="x") == 0
+        assert list(NULL_TRACER.events) == []
+
+    def test_set_context_is_noop(self):
+        NullTracer().set_context(app="x", epoch=1)  # must not raise
+
+
+class TestDefaultTracer:
+    def test_default_is_null(self):
+        assert isinstance(current_tracer(), (NullTracer, Tracer))
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = set_default_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+            assert resolve_tracer(None) is tracer
+            explicit = Tracer()
+            assert resolve_tracer(explicit) is explicit
+        finally:
+            set_default_tracer(previous)
+        assert current_tracer() is previous
+
+    def test_set_none_installs_null(self):
+        previous = set_default_tracer(Tracer())
+        set_default_tracer(None)
+        try:
+            assert current_tracer() is NULL_TRACER
+        finally:
+            set_default_tracer(previous)
+
+
+class TestWithInstruments:
+    def test_events_feed_instruments(self):
+        tracer = Tracer.with_instruments()
+        tracer.emit("probe.headroom", 1.0, capacity_mbps=10.0,
+                    available_mbps=2.0)
+        tracer.emit("restart", 2.0, restart_s=8.0)
+        registry = tracer.instruments.registry
+        assert registry.counter("bass_probes_total", mode="headroom").value == 1
+        assert registry.counter("bass_migrations_total").value == 1
+
+
+@pytest.fixture(autouse=True)
+def _isolate_default_tracer():
+    """Tests here must never leak a default tracer into the process."""
+    previous = set_default_tracer(None)
+    yield
+    set_default_tracer(previous)

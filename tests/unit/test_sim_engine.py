@@ -175,3 +175,90 @@ class TestRunAll:
         engine.schedule_at(0.0, forever)
         with pytest.raises(SimulationError):
             engine.run_all(max_events=100)
+
+
+class TestProfiling:
+    def test_disabled_by_default(self):
+        assert Engine().profiler is None
+
+    def test_profiles_callback_sites(self):
+        from repro.sim.engine import EngineProfiler
+
+        engine = Engine()
+        profiler = engine.enable_profiling()
+        assert isinstance(profiler, EngineProfiler)
+
+        class Worker:
+            def tick(self):
+                pass
+
+        worker = Worker()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, worker.tick)
+        engine.run_until(10.0)
+        stats = profiler.stats()
+        assert len(stats) == 1
+        assert stats[0].count == 3
+        assert stats[0].total_s >= 0.0
+        assert stats[0].site.endswith("Worker.tick")
+
+    def test_periodic_task_charges_payload_not_trampoline(self):
+        engine = Engine()
+        profiler = engine.enable_profiling()
+
+        def payload():
+            pass
+
+        task = engine.every(5.0, payload)
+        engine.run_until(20.0)
+        task.stop()
+        sites = [s.site for s in profiler.stats()]
+        assert any(site.endswith("payload") for site in sites)
+        assert not any("_fire" in site for site in sites)
+
+    def test_enable_is_idempotent(self):
+        engine = Engine()
+        first = engine.enable_profiling()
+        assert engine.enable_profiling() is first
+
+    def test_disable_returns_collected_stats(self):
+        engine = Engine()
+        engine.enable_profiling()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run_until(2.0)
+        profiler = engine.disable_profiling()
+        assert engine.profiler is None
+        assert sum(s.count for s in profiler.stats()) == 1
+        # Events after disabling are not profiled.
+        engine.schedule_at(3.0, lambda: None)
+        engine.run_until(4.0)
+        assert sum(s.count for s in profiler.stats()) == 1
+
+    def test_exceptions_still_charged(self):
+        engine = Engine()
+        profiler = engine.enable_profiling()
+
+        def boom():
+            raise RuntimeError("boom")
+
+        engine.schedule_at(1.0, boom)
+        with pytest.raises(RuntimeError):
+            engine.run_until(2.0)
+        assert sum(s.count for s in profiler.stats()) == 1
+
+    def test_render_table(self):
+        engine = Engine()
+        profiler = engine.enable_profiling()
+        assert profiler.render() == "(no events profiled)"
+        engine.schedule_at(1.0, lambda: None)
+        engine.run_until(2.0)
+        rows = profiler.table()
+        assert len(rows) == 1
+        site, count, total_s, mean_us = rows[0]
+        assert count == 1 and total_s >= 0.0 and mean_us >= 0.0
+        assert "events" in profiler.render()
+
+    def test_mean_us_zero_count(self):
+        from repro.sim.engine import CallbackSiteStats
+
+        assert CallbackSiteStats("x").mean_us == 0.0
