@@ -332,6 +332,43 @@ def _run_multitenant(quick: bool) -> None:
     )
 
 
+def _run_churn(quick: bool) -> None:
+    from .experiments.churn import churn_comparison, churn_recovery
+
+    duration = 160.0 if quick else 240.0
+    results = churn_comparison(duration_s=duration)
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.label,
+                f"{r.detection_latency_s:.0f}"
+                if r.detection_latency_s is not None
+                else "-",
+                f"{r.time_to_recover_s:.0f}"
+                if r.time_to_recover_s is not None
+                else "never",
+                f"{r.goodput_stats.pre_mean:.2f}",
+                f"{r.goodput_stats.dip_min:.2f}",
+                f"{r.goodput_stats.post_mean:.2f}",
+                r.recovered_pods,
+            ]
+        )
+    print(
+        _table(
+            ["mode", "detect_s", "recover_s", "pre_goodput", "dip",
+             "post_goodput", "replaced"],
+            rows,
+        )
+    )
+    shared = churn_recovery(tenants=2, duration_s=duration)
+    print(
+        f"\ntwo tenants, one crash: {shared.recovered_pods} pods "
+        f"re-placed, {shared.conflict_count} arbiter conflicts, "
+        f"detection {shared.detection_latency_s:.0f}s"
+    )
+
+
 def _run_table2(quick: bool) -> None:
     from .experiments.static_placement import table2_camera_mesh
 
@@ -389,6 +426,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], None]]] = {
     "fig16": ("threshold sweep under exponential arrivals", _run_fig16),
     "multitenant": ("probe sharing and migration arbitration at scale",
                     _run_multitenant),
+    "churn": ("node crash: detection latency and recovery vs k3s", _run_churn),
     "table2": ("camera median latency on the emulated mesh", _run_table2),
     "table3": ("per-component scheduling latency", _run_table3),
     "table4": ("DAG processing time per application", _run_table4),

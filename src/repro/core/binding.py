@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..cluster.deployment import Deployment
-from ..errors import DagError
+from ..errors import DagError, RoutingError
 from ..net.netem import NetworkEmulator
 from .dag import ComponentDAG
 
@@ -59,6 +59,10 @@ class DeploymentBinding:
         self._base_weights: dict[tuple[str, str], float] = {
             (src, dst): weight for src, dst, weight in dag.edges()
         }
+        # Edges whose endpoints the mesh cannot currently connect (a
+        # crashed node or partition); they carry no flow and count as
+        # zero goodput until routing heals and sync_flows clears them.
+        self._unroutable: set[tuple[str, str]] = set()
 
     # -- demand control -------------------------------------------------------
 
@@ -114,6 +118,9 @@ class DeploymentBinding:
 
         Co-located edges carry no flow.  Flows whose endpoints moved are
         recreated on the new route; demands are refreshed everywhere.
+        An edge whose endpoints the mesh cannot connect (crashed node,
+        partition) gets no flow and is recorded as unroutable — its
+        traffic simply does not arrive until routing heals.
         """
         for src, dst, _ in self.dag.edges():
             flow_id = edge_flow_id(self.dag.app, src, dst)
@@ -123,15 +130,27 @@ class DeploymentBinding:
             if src_node == dst_node:
                 if self.netem.has_flow(flow_id):
                     self.netem.remove_flow(flow_id)
+                self._unroutable.discard((src, dst))
                 continue
-            if self.netem.has_flow(flow_id):
-                flow = self.netem.flow(flow_id)
-                if flow.src != src_node or flow.dst != dst_node:
-                    self.netem.reroute_flow(flow_id, src_node, dst_node)
-                self.netem.set_demand(flow_id, demand)
+            try:
+                if self.netem.has_flow(flow_id):
+                    flow = self.netem.flow(flow_id)
+                    if flow.src != src_node or flow.dst != dst_node:
+                        self.netem.reroute_flow(flow_id, src_node, dst_node)
+                    self.netem.set_demand(flow_id, demand)
+                else:
+                    self.netem.add_flow(flow_id, src_node, dst_node, demand)
+            except RoutingError:
+                self.netem.remove_flow(flow_id)
+                self._unroutable.add((src, dst))
             else:
-                self.netem.add_flow(flow_id, src_node, dst_node, demand)
+                self._unroutable.discard((src, dst))
         self.netem.recompute()
+
+    @property
+    def unroutable_edges(self) -> set[tuple[str, str]]:
+        """Edges with no usable mesh route, as of the last sync."""
+        return set(self._unroutable)
 
     def remove_flows(self) -> None:
         """Drop all of the application's edge flows (teardown)."""
@@ -159,7 +178,10 @@ class DeploymentBinding:
             return 1.0
         flow_id = edge_flow_id(self.dag.app, src, dst)
         if not self.netem.has_flow(flow_id):
-            return 1.0
+            # Positive demand but no flow: the edge is unroutable (the
+            # flow was torn down when the mesh lost the path) — nothing
+            # arrives, so goodput is zero.
+            return 0.0
         flow = self.netem.flow(flow_id)
         if flow.demand_mbps <= 0:
             return 1.0
@@ -199,13 +221,19 @@ class DeploymentBinding:
             flow = self.netem.flow(flow_id)
             if flow.demand_mbps > 0:
                 rate = flow.allocated_mbps
-        if rate <= 0:
-            # No live flow (or one silenced by a restart window): the
-            # payload would ride whatever the path has spare.  Restart
-            # stalls themselves are charged by the caller, not here.
-            rate = self.netem.path_available_bandwidth(src_node, dst_node)
-        rate = max(rate, 0.01)  # a starved edge still trickles
-        return payload_mbit / rate + self.netem.path_delay_s(src_node, dst_node)
+        try:
+            if rate <= 0:
+                # No live flow (or one silenced by a restart window): the
+                # payload would ride whatever the path has spare.  Restart
+                # stalls themselves are charged by the caller, not here.
+                rate = self.netem.path_available_bandwidth(src_node, dst_node)
+            rate = max(rate, 0.01)  # a starved edge still trickles
+            return payload_mbit / rate + self.netem.path_delay_s(
+                src_node, dst_node
+            )
+        except RoutingError:
+            # No route at all: the payload never arrives.
+            return float("inf")
 
     def inter_node_edges(self) -> list[tuple[str, str, float]]:
         """Edges currently crossing the network, with requirements."""

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..cluster.orchestrator import Orchestrator
 from ..config import BassConfig
-from ..errors import MigrationError
+from ..errors import MigrationError, RoutingError
 from ..net.netem import NetworkEmulator
 from ..obs.trace import TracerBase, resolve_tracer
 from .binding import DeploymentBinding
@@ -395,12 +395,15 @@ class BandwidthController:
             if arbiter is not None
             else set()
         )
+        # Crashed nodes are never migration targets (empty set unless a
+        # fault plan is active, so the healthy path is unchanged).
+        down = self.netem.topology.down_nodes
         target = self.planner.select_target(
             component,
             deployment,
             self.orchestrator.cluster,
             self.netem,
-            exclude=claimed or None,
+            exclude=(claimed | down) or None,
             achieved_mbps_of=self.binding.achieved_mbps,
             tracer=self.tracer,
             trace_cause=self._pending_plan_event,
@@ -413,6 +416,7 @@ class BandwidthController:
                 deployment,
                 self.orchestrator.cluster,
                 self.netem,
+                exclude=down or None,
                 achieved_mbps_of=self.binding.achieved_mbps,
             )
             if preferred is not None and preferred != target:
@@ -479,7 +483,12 @@ class BandwidthController:
         if state_mb <= 0:
             return 0.0
         source = deployment.node_of(component)
-        rate = max(self.netem.path_available_bandwidth(source, target), 0.5)
+        try:
+            rate = max(self.netem.path_available_bandwidth(source, target), 0.5)
+        except RoutingError:
+            # Source unreachable (crash recovery): no checkpoint to ship,
+            # the replacement cold-starts from scratch.
+            return 0.0
         return state_mb * 8.0 / rate
 
     # -- reporting -------------------------------------------------------------------

@@ -41,6 +41,8 @@ from .controller import BandwidthController, ControllerIteration
 from .netmonitor import NetMonitor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.detector import FailureDetector
+    from ..faults.recovery import RecoveryCoordinator
     from ..sim.engine import Engine, PeriodicTask
 
 _EPSILON = 1e-9
@@ -169,6 +171,7 @@ class ControlPlane:
         self._monitor: Optional[NetMonitor] = None
         self._controllers: dict[str, BandwidthController] = {}
         self._tasks: dict[float, "PeriodicTask"] = {}
+        self.recovery: Optional["RecoveryCoordinator"] = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -221,6 +224,25 @@ class ControlPlane:
         return monitor.probe_all_links(
             force=not self.config.startup_probe_respects_cooldown
         )
+
+    # -- crash recovery ----------------------------------------------------
+
+    def enable_recovery(
+        self, detector: "FailureDetector"
+    ) -> "RecoveryCoordinator":
+        """Wire a failure detector's confirmations into crash recovery.
+
+        Pods on a node the detector confirms dead are evicted and
+        re-placed on surviving nodes through the migration machinery,
+        arbitrated by the fleet arbiter across tenants.  Returns the
+        coordinator (also kept on ``self.recovery``).
+        """
+        from ..faults.recovery import RecoveryCoordinator
+
+        if self.recovery is None:
+            self.recovery = RecoveryCoordinator(self, tracer=self.tracer)
+        detector.on_confirmed_dead(self.recovery.recover_from)
+        return self.recovery
 
     # -- tenant lifecycle --------------------------------------------------
 

@@ -23,6 +23,7 @@ from typing import Callable, Optional
 
 from ..cluster.deployment import Deployment
 from ..cluster.orchestrator import ClusterState
+from ..errors import RoutingError
 from ..net.fairness import FlowDemand, max_min_allocation
 from ..net.netem import NetworkEmulator
 from ..obs.trace import NULL_TRACER, TracerBase
@@ -162,8 +163,14 @@ class MigrationPlanner:
             dst_node = deployment.node_of(dst)
             if src_node == dst_node:
                 continue  # co-located: loopback cannot be violated
-            available = netem.path_available_bandwidth(src_node, dst_node)
-            capacity = netem.path_capacity(src_node, dst_node)
+            try:
+                available = netem.path_available_bandwidth(src_node, dst_node)
+                capacity = netem.path_capacity(src_node, dst_node)
+            except RoutingError:
+                # No route between the endpoints (crashed node or
+                # partition): nothing is deliverable.
+                available = 0.0
+                capacity = 0.0
             headroom = (
                 0.0 if capacity == float("inf")
                 else capacity * self.headroom_fraction
@@ -391,7 +398,10 @@ class MigrationPlanner:
                 loopback_total += mbps
                 continue
             src, dst = (node, peer_node) if role == "out" else (peer_node, node)
-            path = netem.router.traceroute(src, dst)
+            try:
+                path = netem.router.traceroute(src, dst)
+            except RoutingError:
+                continue  # unreachable peer contributes nothing
             flow_id = f"__whatif_{component}_{role}_{peer}"
             demands.append(
                 FlowDemand(
@@ -430,12 +440,15 @@ class MigrationPlanner:
             if peer_node == node:
                 continue
             src, dst = (node, peer_node) if role == "out" else (peer_node, node)
-            capacity = netem.path_capacity(src, dst)
-            headroom = (
-                0.0 if capacity == float("inf")
-                else capacity * self.headroom_fraction
-            )
-            if netem.path_available_bandwidth(src, dst) < mbps + headroom:
-                return False
+            try:
+                capacity = netem.path_capacity(src, dst)
+                headroom = (
+                    0.0 if capacity == float("inf")
+                    else capacity * self.headroom_fraction
+                )
+                if netem.path_available_bandwidth(src, dst) < mbps + headroom:
+                    return False
+            except RoutingError:
+                return False  # unreachable peer: edge cannot be carried
         return True
 

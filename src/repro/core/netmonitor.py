@@ -25,7 +25,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..config import ProbeConfig
-from ..errors import TopologyError
+from ..errors import RoutingError, TopologyError
 from ..net.netem import NetworkEmulator
 from ..obs.trace import TracerBase, resolve_tracer
 
@@ -278,8 +278,15 @@ class NetMonitor:
         return probe / total
 
     def links_of_path(self, src: str, dst: str) -> list[tuple[str, str]]:
-        """Directed link keys along the route (for per-link probing)."""
-        path = self.netem.router.traceroute(src, dst)
+        """Directed link keys along the route (for per-link probing).
+
+        An unroutable pair (crashed node, partition) has no links to
+        probe — probing requires a path to send traffic over.
+        """
+        try:
+            path = self.netem.router.traceroute(src, dst)
+        except RoutingError:
+            return []
         if len(path) == 1:
             return []
         return list(zip(path, path[1:]))

@@ -1,0 +1,259 @@
+"""Node-churn recovery scenarios (beyond the paper's tables).
+
+The paper's evaluation throttles links; community meshes also lose
+whole nodes — a power cut, a reboot, a router wedged until someone
+walks over.  This scenario crashes a worker mid-run and measures the
+full recovery pipeline end to end:
+
+1. the :class:`~repro.faults.injector.FaultInjector` kills the node and
+   the mesh tears down flows crossing it;
+2. the :class:`~repro.faults.detector.FailureDetector` notices purely
+   from missing heartbeats (measured detection latency, no oracle);
+3. the control plane's :class:`~repro.faults.recovery.RecoveryCoordinator`
+   evicts the lost pods and re-places them on surviving nodes through
+   the same migration machinery the paper's controller uses.
+
+The baseline is a k3s-style deployment that never re-places: the pod
+stays bound to the dead node and its edge's goodput flatlines at zero.
+Goodput-threshold migrations are disabled in both modes so the only
+re-placement path under test is crash recovery itself.
+
+With ``tenants > 1`` every tenant loses its sink at once, so one
+recovery round re-places pods for multiple applications under the
+fleet arbiter — the crash-time analogue of the multi-tenant migration
+races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import BassConfig, FleetConfig
+from ..faults import (
+    FailureDetector,
+    FaultInjector,
+    FaultPlan,
+    HeartbeatConfig,
+    NodeCrash,
+    RecoveryAction,
+)
+from ..metrics.summary import RecoveryStats, recovery_timeline_stats
+from ..obs.trace import TracerBase
+from .common import AppHandle, ExperimentEnv, build_env, deploy_app, run_timeline
+from .multi_tenant import SINK, StreamPairApp
+
+#: The control-plane node collecting heartbeats.
+OBSERVER = "node0"
+
+
+@dataclass
+class ChurnResult:
+    """One churn run: a node crash and whatever recovery followed."""
+
+    label: str
+    crash_node: str
+    crash_at_s: float
+    duration_s: float
+    recovery_enabled: bool
+    #: Sampled fleet-mean goodput timeline (0.0 while traffic is lost).
+    times: list[float] = field(repr=False)
+    goodput: list[float] = field(repr=False)
+    #: Measured heartbeat detection latency (None: never confirmed).
+    detection_latency_s: Optional[float]
+    confirmed_at_s: Optional[float]
+    #: Per-pod recovery outcomes (empty without recovery / detection).
+    actions: list[RecoveryAction]
+    conflict_count: int
+    epoch_interval_s: float
+    goodput_stats: RecoveryStats
+
+    @property
+    def recovered_pods(self) -> int:
+        return sum(1 for a in self.actions if a.succeeded)
+
+    @property
+    def stranded_pods(self) -> int:
+        return sum(1 for a in self.actions if not a.succeeded)
+
+    @property
+    def time_to_recover_s(self) -> Optional[float]:
+        """Crash to sustained ≥90 % of pre-crash goodput (None: never)."""
+        return self.goodput_stats.time_to_recover_s
+
+    @property
+    def replacement_delay_s(self) -> Optional[float]:
+        """Crash to the first successful re-placement (None: none)."""
+        succeeded = [a.time for a in self.actions if a.succeeded]
+        if not succeeded:
+            return None
+        return min(succeeded) - self.crash_at_s
+
+
+def _fleet_goodput(
+    env: ExperimentEnv, handles: list[AppHandle], now: float
+) -> float:
+    """Mean delivered goodput across every tenant edge.
+
+    Honest about outages: an edge whose endpoint sits on a down node, or
+    whose component is mid-restart, delivers nothing — unlike the
+    controller's view, where restart silence is the migration's own cost.
+    """
+    down = env.topology.down_nodes
+    values = []
+    for handle in handles:
+        deployment = handle.deployment
+        for src, dst, _ in handle.dag.edges():
+            if (
+                deployment.node_of(src) in down
+                or deployment.node_of(dst) in down
+                or not deployment.is_available(src, now)
+                or not deployment.is_available(dst, now)
+            ):
+                values.append(0.0)
+                continue
+            values.append(handle.binding.goodput(src, dst))
+    return sum(values) / len(values) if values else 1.0
+
+
+def churn_recovery(
+    *,
+    tenants: int = 1,
+    duration_s: float = 240.0,
+    seed: int = 23,
+    crash_node: str = "node2",
+    crash_at_s: float = 60.0,
+    reboot_after_s: Optional[float] = None,
+    demand_mbps: float = 2.0,
+    source_node: str = "node1",
+    recovery: bool = True,
+    label: Optional[str] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
+    config: Optional[BassConfig] = None,
+    fleet: Optional[FleetConfig] = None,
+    tracer: Optional[TracerBase] = None,
+    env: Optional[ExperimentEnv] = None,
+) -> ChurnResult:
+    """Crash ``crash_node`` mid-run and measure detection + recovery.
+
+    Every tenant is a pinned-source stream pair whose sink starts on
+    ``crash_node``, so the crash severs all of them at once.  With
+    ``recovery=True`` the failure detector's confirmation triggers
+    fleet-arbitrated re-placement (BASS); with ``recovery=False`` the
+    pods stay bound to the dead node forever (the k3s baseline).
+
+    Args:
+        tenants: co-deployed stream pairs (>1 exercises the arbiter).
+        crash_at_s: when the node dies.
+        reboot_after_s: bring the node back after this long (None: stays
+            dead).  Recovery has already moved the pods by then; the
+            detector just reports the node alive again.
+        recovery: wire detector confirmations into crash recovery.
+        heartbeat: detection timing; defaults to 5 s beats, suspect
+            after 2 misses, confirm after 4.
+        config: per-tenant BASS config.  Defaults disable goodput
+            migrations so crash recovery is the only re-placement path.
+        env: reuse a pre-built substrate (tests pre-populate the mesh).
+    """
+    if config is None:
+        config = BassConfig(migrations_enabled=False)
+    config = config.validate()
+    if env is None:
+        env = build_env(seed=seed, with_traces=False, fleet=fleet, tracer=tracer)
+    handles = []
+    for index in range(tenants):
+        app = StreamPairApp(
+            f"tenant{index:02d}",
+            demand_mbps=demand_mbps,
+            source_node=source_node,
+        )
+        handles.append(
+            deploy_app(
+                env,
+                app,
+                "bass-longest-path" if recovery else "k3s",
+                config=config,
+                force_assignments={SINK: crash_node},
+            )
+        )
+
+    plan = FaultPlan(
+        [NodeCrash(crash_at_s, crash_node, reboot_after_s=reboot_after_s)]
+    )
+    injector = FaultInjector(plan, env.netem, tracer=env.tracer)
+    injector.install()
+    detector = FailureDetector(
+        env.netem,
+        OBSERVER,
+        config=heartbeat,
+        injector=injector,
+        tracer=env.tracer,
+    )
+    detector.start()
+    if recovery:
+        assert env.control_plane is not None
+        env.control_plane.enable_recovery(detector)
+
+    times: list[float] = []
+    goodput: list[float] = []
+
+    def sample(now: float) -> None:
+        times.append(now)
+        goodput.append(_fleet_goodput(env, handles, now))
+
+    run_timeline(env, duration_s, on_tick=sample)
+
+    latency = detector.detection_latency_s.get(crash_node)
+    coordinator = env.control_plane.recovery if env.control_plane else None
+    arbiter = env.control_plane.arbiter if env.control_plane else None
+    return ChurnResult(
+        label=label if label is not None else ("bass" if recovery else "k3s"),
+        crash_node=crash_node,
+        crash_at_s=crash_at_s,
+        duration_s=duration_s,
+        recovery_enabled=recovery,
+        times=times,
+        goodput=goodput,
+        detection_latency_s=latency,
+        confirmed_at_s=(crash_at_s + latency if latency is not None else None),
+        actions=list(coordinator.actions) if coordinator is not None else [],
+        conflict_count=arbiter.conflict_count if arbiter is not None else 0,
+        epoch_interval_s=config.probe.headroom_interval_s,
+        goodput_stats=recovery_timeline_stats(
+            times, goodput, fault_at_s=crash_at_s
+        ),
+    )
+
+
+def churn_comparison(
+    *,
+    duration_s: float = 240.0,
+    seed: int = 23,
+    crash_node: str = "node2",
+    crash_at_s: float = 60.0,
+    tenants: int = 1,
+) -> tuple[ChurnResult, ChurnResult]:
+    """BASS-with-recovery vs the never-re-placing k3s baseline.
+
+    Identical seed, topology, workload, and crash; the only difference
+    is whether detector confirmations drive re-placement.
+    """
+    bass = churn_recovery(
+        tenants=tenants,
+        duration_s=duration_s,
+        seed=seed,
+        crash_node=crash_node,
+        crash_at_s=crash_at_s,
+        recovery=True,
+        label="bass",
+    )
+    baseline = churn_recovery(
+        tenants=tenants,
+        duration_s=duration_s,
+        seed=seed,
+        crash_node=crash_node,
+        crash_at_s=crash_at_s,
+        recovery=False,
+        label="k3s",
+    )
+    return bass, baseline

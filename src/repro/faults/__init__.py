@@ -1,0 +1,50 @@
+"""Chaos layer: declarative fault plans, honest failure detection,
+coordinated crash recovery.
+
+Three cooperating pieces (see DESIGN.md, "Fault model"):
+
+* :class:`FaultPlan` / :class:`FaultInjector` — ground truth.  A
+  seeded, declarative plan of node crashes, link failures, flaps,
+  partitions, and probe blackouts, executed as engine events that flip
+  topology state and force the emulator's flows to reconverge.
+* :class:`FailureDetector` — discovery.  Heartbeats over the mesh with
+  miss-count suspicion and confirmation; detection latency is measured,
+  not oracle-delivered.
+* :class:`RecoveryCoordinator` — reaction.  Evicts pods from
+  confirmed-dead nodes and re-places them through the existing
+  migration machinery, arbitrated across tenants by the fleet arbiter.
+
+With no plan installed, nothing here runs and the rest of the system
+is byte-identical to a chaos-free build.
+"""
+
+from .detector import FailureDetector, HeartbeatConfig
+from .injector import FaultInjector, InjectedFault
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    LinkDown,
+    LinkFlap,
+    NodeCrash,
+    Partition,
+    ProbeBlackout,
+    seeded_churn,
+)
+from .recovery import RecoveryAction, RecoveryCoordinator
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FailureDetector",
+    "HeartbeatConfig",
+    "InjectedFault",
+    "LinkDown",
+    "LinkFlap",
+    "NodeCrash",
+    "Partition",
+    "ProbeBlackout",
+    "RecoveryAction",
+    "RecoveryCoordinator",
+    "seeded_churn",
+]

@@ -1,0 +1,260 @@
+"""Declarative fault plans for the chaos layer.
+
+A :class:`FaultPlan` is a validated, time-ordered list of fault events —
+node crashes (with optional reboot), link failures (with optional
+restore), link flapping, mesh partitions, and probe blackouts.  Plans
+are plain data: nothing happens until a
+:class:`~repro.faults.injector.FaultInjector` installs one on a
+simulation engine.  Seeded plans come from :func:`seeded_churn`, which
+draws crash times and victims from a named
+:class:`~repro.sim.rng.RngStreams` stream so a churn experiment is
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..errors import SimulationError
+from ..mesh.topology import MeshTopology
+from ..sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """A node dies at ``at_s``; optionally reboots after a delay.
+
+    A crashed node drops off the mesh entirely: every adjacent link
+    goes down, its pods stop serving, and heartbeats from it cease.
+    ``reboot_after_s=None`` means it never comes back.
+    """
+
+    at_s: float
+    node: str
+    reboot_after_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """The ``a``–``b`` link fails at ``at_s``; optionally restores later.
+
+    Only the link fails — both endpoint nodes stay alive and keep
+    serving over whatever routes remain.
+    """
+
+    at_s: float
+    a: str
+    b: str
+    restore_after_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """The ``a``–``b`` link oscillates: down ``down_s``, up ``up_s``,
+    for ``cycles`` full cycles starting at ``at_s``.
+
+    Models an unstable rooftop radio — each transition forces a routing
+    reconvergence, which is the stress this fault exists to apply.
+    """
+
+    at_s: float
+    a: str
+    b: str
+    down_s: float
+    up_s: float
+    cycles: int = 1
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Every link between ``group`` and the rest of the mesh fails at
+    ``at_s``, splitting the mesh in two; optionally heals later.
+
+    Nodes on both sides stay alive — they just cannot reach each other.
+    """
+
+    at_s: float
+    group: tuple[str, ...]
+    heal_after_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ProbeBlackout:
+    """Heartbeats and probes from ``node`` are lost for ``duration_s``
+    starting at ``at_s``, although the node itself is healthy.
+
+    This is the false-positive stress for the failure detector: a
+    blackout longer than the confirmation timeout makes a live node
+    look dead, and the detector must notice the resurrection when the
+    blackout lifts.
+    """
+
+    at_s: float
+    node: str
+    duration_s: float
+
+
+FaultEvent = Union[NodeCrash, LinkDown, LinkFlap, Partition, ProbeBlackout]
+
+
+@dataclass
+class FaultPlan:
+    """A validated, time-ordered collection of fault events.
+
+    Example:
+        >>> from repro.mesh import line_topology
+        >>> plan = FaultPlan([NodeCrash(at_s=30.0, node="node2")])
+        >>> plan.validate(line_topology([10.0, 10.0]))
+        >>> [type(e).__name__ for e in plan.events]
+        ['NodeCrash']
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.at_s)
+
+    def add(self, event: FaultEvent) -> "FaultPlan":
+        """Append an event, keeping the plan time-ordered."""
+        self.events.append(event)
+        self.events.sort(key=lambda e: e.at_s)
+        return self
+
+    def validate(self, topology: MeshTopology) -> None:
+        """Check every event against the topology it will be applied to.
+
+        Raises:
+            SimulationError: on negative times/durations, unknown nodes
+                or links, or a partition group that is empty or total.
+        """
+        names = {node.name for node in topology.nodes}
+        for event in self.events:
+            if event.at_s < 0:
+                raise SimulationError(
+                    f"fault at negative time: {event!r}"
+                )
+            if isinstance(event, NodeCrash):
+                self._check_node(event.node, names, event)
+                if event.reboot_after_s is not None and event.reboot_after_s <= 0:
+                    raise SimulationError(
+                        f"reboot_after_s must be positive: {event!r}"
+                    )
+            elif isinstance(event, LinkDown):
+                topology.link(event.a, event.b)  # raises if absent
+                if (
+                    event.restore_after_s is not None
+                    and event.restore_after_s <= 0
+                ):
+                    raise SimulationError(
+                        f"restore_after_s must be positive: {event!r}"
+                    )
+            elif isinstance(event, LinkFlap):
+                topology.link(event.a, event.b)
+                if event.down_s <= 0 or event.up_s <= 0 or event.cycles < 1:
+                    raise SimulationError(
+                        f"flap needs positive down_s/up_s and >=1 cycle: "
+                        f"{event!r}"
+                    )
+            elif isinstance(event, Partition):
+                if not event.group:
+                    raise SimulationError("partition group is empty")
+                for name in event.group:
+                    self._check_node(name, names, event)
+                if set(event.group) >= names:
+                    raise SimulationError(
+                        "partition group contains every node; nothing "
+                        "is on the other side"
+                    )
+                if event.heal_after_s is not None and event.heal_after_s <= 0:
+                    raise SimulationError(
+                        f"heal_after_s must be positive: {event!r}"
+                    )
+            elif isinstance(event, ProbeBlackout):
+                self._check_node(event.node, names, event)
+                if event.duration_s <= 0:
+                    raise SimulationError(
+                        f"blackout duration must be positive: {event!r}"
+                    )
+            else:  # pragma: no cover - guarded by the FaultEvent union
+                raise SimulationError(f"unknown fault event {event!r}")
+
+    @staticmethod
+    def _check_node(
+        name: str, names: set, event: FaultEvent
+    ) -> None:
+        if name not in names:
+            raise SimulationError(
+                f"fault references unknown node {name!r}: {event!r}"
+            )
+
+    @property
+    def crash_targets(self) -> list[str]:
+        """Nodes the plan crashes, in event order."""
+        return [e.node for e in self.events if isinstance(e, NodeCrash)]
+
+
+def seeded_churn(
+    topology: MeshTopology,
+    rng: RngStreams,
+    *,
+    duration_s: float,
+    crash_count: int = 1,
+    reboot_after_s: Optional[float] = None,
+    link_failure_count: int = 0,
+    link_restore_after_s: Optional[float] = None,
+    candidates: Optional[Iterable[str]] = None,
+    stream: str = "faults",
+) -> FaultPlan:
+    """Generate a random-but-reproducible churn plan.
+
+    Crash victims are drawn (without replacement) from ``candidates``
+    (default: the schedulable workers) and crash times uniformly over
+    the middle 80 % of ``duration_s`` — early enough to recover inside
+    the run, late enough that the system reached steady state.  Link
+    failures pick random live links the same way.  The same
+    ``(seed, stream)`` pair always yields the same plan.
+    """
+    if duration_s <= 0:
+        raise SimulationError("duration_s must be positive")
+    gen = rng.get(stream)
+    pool = sorted(candidates) if candidates is not None else list(
+        topology.worker_names
+    )
+    if crash_count > len(pool):
+        raise SimulationError(
+            f"cannot crash {crash_count} of {len(pool)} candidate nodes"
+        )
+    lo, hi = 0.1 * duration_s, 0.9 * duration_s
+    events: list[FaultEvent] = []
+    victims = [
+        pool[i] for i in gen.choice(len(pool), size=crash_count, replace=False)
+    ]
+    for node in victims:
+        events.append(
+            NodeCrash(
+                at_s=float(gen.uniform(lo, hi)),
+                node=node,
+                reboot_after_s=reboot_after_s,
+            )
+        )
+    if link_failure_count:
+        link_ids = sorted(link.id for link in topology.links)
+        if link_failure_count > len(link_ids):
+            raise SimulationError(
+                f"cannot fail {link_failure_count} of {len(link_ids)} links"
+            )
+        chosen = gen.choice(
+            len(link_ids), size=link_failure_count, replace=False
+        )
+        for index in chosen:
+            a, b = link_ids[index]
+            events.append(
+                LinkDown(
+                    at_s=float(gen.uniform(lo, hi)),
+                    a=a,
+                    b=b,
+                    restore_after_s=link_restore_after_s,
+                )
+            )
+    return FaultPlan(events)

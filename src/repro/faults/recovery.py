@@ -1,0 +1,247 @@
+"""Coordinated re-placement of pods lost to a confirmed-dead node.
+
+When the failure detector confirms a node dead, the coordinator walks
+every tenant of the control plane, finds the pods bound to the dead
+node, and re-places each by reusing the migration machinery:
+:meth:`~repro.core.migration.MigrationPlanner.select_target` ranks
+surviving nodes exactly as §3.2.2 does for a bandwidth migration
+(deployed dependencies first, then bandwidth feasibility), and
+:meth:`~repro.cluster.orchestrator.Orchestrator.migrate` executes the
+move — releasing the dead node's allocation and charging the target
+exactly once, so the cluster ledger stays clean.
+
+Algorithm 3's cascade rule carries over: only the *dead* side of a
+dependency pair moves.  Surviving partners stay put, and within one
+dead node the lost pods are re-placed largest-bandwidth first, mirroring
+the candidate ordering of the migration path.
+
+Multi-tenant recoveries run through the :class:`FleetArbiter`: each
+re-placement claims its target node for the arbitration round, later
+tenants select around existing claims, and any deflection is recorded
+as a conflict (plus a ``recovery.deflected`` trace event) — so two
+tenants recovering from one crash cannot stampede the same surviving
+node inside a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import MigrationError
+from ..obs.trace import TracerBase, resolve_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.controlplane import ControlPlane
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One pod's recovery outcome."""
+
+    time: float
+    app: str
+    component: str
+    from_node: str
+    to_node: Optional[str]  # None: no surviving node could take it
+
+    @property
+    def succeeded(self) -> bool:
+        return self.to_node is not None
+
+
+class RecoveryCoordinator:
+    """Fleet-wide crash recovery driven by detector confirmations.
+
+    Args:
+        control_plane: supplies the tenants (controllers with their
+            bindings and planners), the orchestrator, and the arbiter.
+        tracer: flight recorder for ``recovery.*`` events.
+    """
+
+    def __init__(
+        self,
+        control_plane: "ControlPlane",
+        *,
+        tracer: Optional[TracerBase] = None,
+    ) -> None:
+        self.cp = control_plane
+        self.tracer = resolve_tracer(tracer)
+        self.actions: list[RecoveryAction] = []
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def recovered_count(self) -> int:
+        return sum(1 for action in self.actions if action.succeeded)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for action in self.actions if not action.succeeded)
+
+    # -- the recovery round ------------------------------------------------
+
+    def recover_from(
+        self,
+        node: str,
+        cause: Optional[int] = None,
+        detection_latency_s: Optional[float] = None,
+    ) -> list[RecoveryAction]:
+        """Re-place every tenant's pods lost on ``node``.
+
+        Signature matches the detector's ``on_confirmed_dead`` hook;
+        ``cause`` is the ``node.confirmed_dead`` trace event, so the
+        emitted ``recovery.plan`` (and through it each ``restart``)
+        chains back to the detection.
+        """
+        netem = self.cp.netem
+        orchestrator = self.cp.orchestrator
+        arbiter = self.cp.arbiter
+        now = netem.now
+        if arbiter is not None:
+            # A recovery is its own arbitration round: claims made here
+            # protect surviving nodes from a multi-tenant stampede.
+            arbiter.begin_epoch(now)
+        down = netem.topology.down_nodes
+        round_actions: list[RecoveryAction] = []
+        for app in sorted(self.cp.tenants):
+            controller = self.cp.controller(app)
+            deployment = orchestrator.deployment(app)
+            lost = deployment.pods_on(node)
+            if not lost:
+                continue
+            # Largest aggregate bandwidth first — Algorithm 3's candidate
+            # ordering, applied to the crash-evicted set.
+            dag = controller.binding.dag
+            lost.sort(
+                key=lambda name: (
+                    -(
+                        sum(dag.dependencies(name).values())
+                        + sum(dag.dependents(name).values())
+                    ),
+                    name,
+                )
+            )
+            plan_event = None
+            if self.tracer.enabled:
+                plan_event = self.tracer.emit(
+                    "recovery.plan",
+                    now,
+                    cause=cause,
+                    app=app,
+                    node=node,
+                    pods=list(lost),
+                    detection_latency_s=detection_latency_s,
+                )
+            for component in lost:
+                action = self._replace_one(
+                    app, component, node, controller, deployment,
+                    arbiter, down, plan_event,
+                )
+                round_actions.append(action)
+            controller.binding.sync_flows()
+        self.actions.extend(round_actions)
+        if self.cp.config.ledger_checks:
+            from ..core.controlplane import check_cluster_ledger
+
+            check_cluster_ledger(orchestrator.cluster)
+        return round_actions
+
+    def _replace_one(
+        self,
+        app: str,
+        component: str,
+        node: str,
+        controller,
+        deployment,
+        arbiter,
+        down: set,
+        plan_event: Optional[int],
+    ) -> RecoveryAction:
+        """Select a surviving target for one lost pod and migrate it."""
+        netem = self.cp.netem
+        orchestrator = self.cp.orchestrator
+        now = netem.now
+        claimed = (
+            arbiter.nodes_claimed_by_others(app)
+            if arbiter is not None
+            else set()
+        )
+        planner = controller.planner
+        target = planner.select_target(
+            component,
+            deployment,
+            orchestrator.cluster,
+            netem,
+            exclude=(down | claimed) or None,
+            tracer=self.tracer,
+            trace_cause=plan_event,
+        )
+        if claimed:
+            preferred = planner.select_target(
+                component,
+                deployment,
+                orchestrator.cluster,
+                netem,
+                exclude=down or None,
+            )
+            if preferred is not None and preferred != target:
+                arbiter.record_conflict(
+                    now, app, component, preferred, target
+                )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "recovery.deflected",
+                        now,
+                        cause=plan_event,
+                        component=component,
+                        preferred=preferred,
+                        granted=target,
+                    )
+        if target is None:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "recovery.failed",
+                    now,
+                    cause=plan_event,
+                    component=component,
+                    node=node,
+                )
+            return RecoveryAction(
+                time=now,
+                app=app,
+                component=component,
+                from_node=node,
+                to_node=None,
+            )
+        try:
+            orchestrator.migrate(
+                app,
+                component,
+                target,
+                reason="crash recovery",
+                trace_cause=plan_event,
+            )
+        except MigrationError:
+            return RecoveryAction(
+                time=now,
+                app=app,
+                component=component,
+                from_node=node,
+                to_node=None,
+            )
+        if arbiter is not None:
+            arbiter.claim(now, app, component, target)
+        # The replacement cold-starts (the checkpoint died with the
+        # node); re-arm its edge flows once the restart window closes.
+        netem.engine.schedule_in(
+            orchestrator.restart_seconds + 1e-6,
+            controller.binding.sync_flows,
+        )
+        return RecoveryAction(
+            time=now,
+            app=app,
+            component=component,
+            from_node=node,
+            to_node=target,
+        )

@@ -82,6 +82,11 @@ class Link:
             raise TopologyError(f"link {a}-{b}: latency must be >= 0")
         self.id: LinkId = link_id(a, b)
         self.latency_ms = latency_ms
+        #: Whether the link is currently carrying traffic.  Managed by
+        #: :class:`~repro.mesh.topology.MeshTopology` (a link is down
+        #: when explicitly failed or when either endpoint node is down);
+        #: a down link has zero capacity in both directions.
+        self.up: bool = True
         self._directions: dict[tuple[str, str], _DirectionState] = {
             (a, b): _DirectionState(base_mbps=capacity_mbps),
             (b, a): _DirectionState(base_mbps=capacity_mbps),
@@ -109,7 +114,12 @@ class Link:
         raise TopologyError(f"node {node!r} is not an endpoint of link {self.id}")
 
     def capacity(self, src: str, dst: str, t: float) -> float:
-        """Effective capacity of the ``src -> dst`` direction at time t."""
+        """Effective capacity of the ``src -> dst`` direction at time t.
+
+        A down link (failed, or with a crashed endpoint) carries nothing.
+        """
+        if not self.up:
+            return 0.0
         return self._direction(src, dst).capacity_at(t)
 
     def set_trace(

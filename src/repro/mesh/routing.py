@@ -53,6 +53,7 @@ class Router:
         self._topology = topology
         self.strategy = strategy
         self._path_cache: dict[tuple[str, str], list[str]] = {}
+        self._cached_version = topology.version
 
     @property
     def topology(self) -> MeshTopology:
@@ -71,6 +72,11 @@ class Router:
         for name in (src, dst):
             if name not in self._topology:
                 raise TopologyError(f"unknown node {name!r}")
+        if self._cached_version != self._topology.version:
+            # Topology changed (node/link added, failed, or recovered)
+            # since the cache was filled — recompute from scratch.
+            self._path_cache.clear()
+            self._cached_version = self._topology.version
         if src == dst:
             return [src]
         key = (src, dst)
@@ -85,7 +91,9 @@ class Router:
         try:
             paths = nx.all_shortest_paths(graph, src, dst)
             return min(paths)  # lexicographic tie-break for determinism
-        except nx.NetworkXNoPath:
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            # NodeNotFound: an endpoint is down and thus absent from the
+            # live graph — unreachable, same as a partition.
             raise RoutingError(
                 f"mesh is partitioned: no route {src!r} -> {dst!r}"
             ) from None
@@ -95,7 +103,11 @@ class Router:
         then lexicographic order) via exhaustive simple-path search —
         meshes are tens of nodes (§3.1), so this stays cheap."""
         graph = self._topology.graph()
-        if not nx.has_path(graph, src, dst):
+        if (
+            src not in graph
+            or dst not in graph
+            or not nx.has_path(graph, src, dst)
+        ):
             raise RoutingError(
                 f"mesh is partitioned: no route {src!r} -> {dst!r}"
             )

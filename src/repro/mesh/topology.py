@@ -41,6 +41,19 @@ class MeshTopology:
         self._nodes: dict[str, MeshNode] = {}
         self._links: dict[LinkId, Link] = {}
         self._adjacency: dict[str, set[str]] = {}
+        #: Nodes currently crashed (fault injection); empty in a healthy
+        #: mesh, so the fault machinery costs nothing when unused.
+        self._down_nodes: set[str] = set()
+        #: Per-link reasons the link is down: the sentinel ``"link"`` for
+        #: an explicit link failure, plus ``"node:<name>"`` per crashed
+        #: endpoint.  A link is up iff its reason set is empty, so a
+        #: rebooting node does not resurrect a link whose other endpoint
+        #: is still dead (or whose radio failed independently).
+        self._link_down_reasons: dict[LinkId, set[str]] = {}
+        #: Monotonic change counter, bumped on every structural change
+        #: (node/link added, element failed or restored).  The router
+        #: watches it to drop stale cached paths automatically.
+        self.version: int = 0
 
     # -- nodes ----------------------------------------------------------
 
@@ -49,6 +62,7 @@ class MeshTopology:
             raise TopologyError(f"duplicate node {node.name!r}")
         self._nodes[node.name] = node
         self._adjacency[node.name] = set()
+        self.version += 1
 
     def node(self, name: str) -> MeshNode:
         try:
@@ -91,6 +105,11 @@ class MeshTopology:
         self._links[lid] = link
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
+        self.version += 1
+        # A link added while an endpoint is down joins the mesh down.
+        for name in (a, b):
+            if name in self._down_nodes:
+                self._add_link_down_reason(lid, f"node:{name}")
         return link
 
     def link(self, a: str, b: str) -> Link:
@@ -123,20 +142,112 @@ class MeshTopology:
             yield a, b, link
             yield b, a, link
 
+    # -- failure state (fault injection) ---------------------------------
+
+    def _add_link_down_reason(self, lid: LinkId, reason: str) -> None:
+        reasons = self._link_down_reasons.setdefault(lid, set())
+        reasons.add(reason)
+        self._links[lid].up = False
+
+    def _remove_link_down_reason(self, lid: LinkId, reason: str) -> None:
+        reasons = self._link_down_reasons.get(lid)
+        if reasons is None:
+            return
+        reasons.discard(reason)
+        if not reasons:
+            del self._link_down_reasons[lid]
+            self._links[lid].up = True
+
+    def set_node_up(self, name: str, up: bool) -> None:
+        """Crash (``up=False``) or reboot (``up=True``) a node.
+
+        Crashing a node takes every adjacent link down with it; a reboot
+        restores only links with no *other* reason to be down (an
+        explicitly failed radio, or a still-dead far endpoint, keeps the
+        link dark).  Idempotent in both directions.
+        """
+        node = self.node(name)
+        reason = f"node:{node.name}"
+        if up and name in self._down_nodes:
+            self._down_nodes.discard(name)
+            for peer in self._adjacency[name]:
+                self._remove_link_down_reason(link_id(name, peer), reason)
+            self.version += 1
+        elif not up and name not in self._down_nodes:
+            self._down_nodes.add(name)
+            for peer in self._adjacency[name]:
+                self._add_link_down_reason(link_id(name, peer), reason)
+            self.version += 1
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        """Fail (``up=False``) or restore (``up=True``) a single link.
+
+        Restoring clears only the explicit link failure; a link whose
+        endpoint node is down stays down until the node reboots.
+        """
+        self.link(a, b)  # validates the link exists
+        lid = link_id(a, b)
+        if up:
+            if "link" in self._link_down_reasons.get(lid, ()):
+                self._remove_link_down_reason(lid, "link")
+                self.version += 1
+        else:
+            if "link" not in self._link_down_reasons.get(lid, ()):
+                self._add_link_down_reason(lid, "link")
+                self.version += 1
+
+    def is_node_up(self, name: str) -> bool:
+        self.node(name)  # validates
+        return name not in self._down_nodes
+
+    def is_link_up(self, a: str, b: str) -> bool:
+        return self.link(a, b).up
+
+    @property
+    def down_nodes(self) -> set[str]:
+        """Names of currently crashed nodes."""
+        return set(self._down_nodes)
+
+    @property
+    def up_worker_names(self) -> list[str]:
+        """Schedulable nodes that are currently alive."""
+        return [
+            n.name
+            for n in self._nodes.values()
+            if n.schedulable and n.name not in self._down_nodes
+        ]
+
     # -- derived views ---------------------------------------------------
 
     def graph(self) -> nx.Graph:
-        """An undirected networkx view (hop-count weights)."""
+        """An undirected networkx view of the *live* mesh (hop-count
+        weights).  Down nodes and down links are excluded, so routing
+        never traverses a failed element; in a healthy mesh this is the
+        full topology at no extra cost."""
         graph = nx.Graph()
-        graph.add_nodes_from(self._nodes)
-        graph.add_edges_from(self._links)
+        if not self._down_nodes and not self._link_down_reasons:
+            graph.add_nodes_from(self._nodes)
+            graph.add_edges_from(self._links)
+            return graph
+        graph.add_nodes_from(
+            name for name in self._nodes if name not in self._down_nodes
+        )
+        graph.add_edges_from(
+            lid for lid, link in self._links.items() if link.up
+        )
         return graph
 
     def is_connected(self) -> bool:
-        """BASS assumes no partitions (§3.1) — check the assumption."""
-        if not self._nodes:
+        """BASS assumes no partitions (§3.1) — check the assumption.
+
+        Under fault injection this checks the *live* subgraph: down
+        nodes are excluded, and a mesh whose surviving nodes all reach
+        each other still counts as connected.
+        """
+        graph = self.graph()
+        if not graph:
             return True
-        return nx.is_connected(self.graph())
+        return nx.is_connected(graph)
 
     def total_link_capacity(self, name: str, t: float) -> float:
         """Sum of outgoing capacity across all of a node's links.

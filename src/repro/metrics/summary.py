@@ -96,6 +96,74 @@ def summarize(values: Sequence[float]) -> Summary:
     )
 
 
+@dataclass(frozen=True)
+class RecoveryStats:
+    """How a timeline (goodput, throughput) weathered a fault.
+
+    Attributes:
+        pre_mean: mean value before the fault.
+        dip_min: worst value at/after the fault.
+        post_mean: mean value from recovery onward (NaN if the
+            timeline never recovered).
+        time_to_recover_s: seconds from the fault until the timeline
+            reached ``recovery_fraction * pre_mean`` *and stayed there*;
+            None when it never did (e.g. the k3s baseline).
+    """
+
+    pre_mean: float
+    dip_min: float
+    post_mean: float
+    time_to_recover_s: object  # Optional[float]; None = never recovered
+
+    @property
+    def recovered(self) -> bool:
+        return self.time_to_recover_s is not None
+
+
+def recovery_timeline_stats(
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    fault_at_s: float,
+    recovery_fraction: float = 0.9,
+) -> RecoveryStats:
+    """Summarize a timeline's dip-and-recovery around a fault.
+
+    Recovery is judged conservatively: the recovery instant is the
+    first sample after the *last* sub-threshold sample, so a timeline
+    that bounces back and dips again counts only its final return.
+    Used by the churn benchmark to assert BASS recovers goodput to
+    ≥ 90 % of the pre-crash level while the baseline does not.
+    """
+    t = np.asarray(list(times), dtype=float)
+    v = np.asarray(list(values), dtype=float)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have the same length")
+    nan = float("nan")
+    pre = v[t < fault_at_s]
+    pre_mean = float(pre.mean()) if pre.size else nan
+    after_mask = t >= fault_at_s
+    after_t, after_v = t[after_mask], v[after_mask]
+    if after_v.size == 0 or not np.isfinite(pre_mean):
+        return RecoveryStats(pre_mean, nan, nan, None)
+    dip_min = float(after_v.min())
+    threshold = recovery_fraction * pre_mean
+    below = np.nonzero(after_v < threshold)[0]
+    if below.size == 0:
+        # Never dipped under the threshold: recovered instantly.
+        return RecoveryStats(pre_mean, dip_min, float(after_v.mean()), 0.0)
+    if below[-1] == after_v.size - 1:
+        # Still under the threshold at the end of the run.
+        return RecoveryStats(pre_mean, dip_min, nan, None)
+    first_recovered = int(below[-1]) + 1
+    return RecoveryStats(
+        pre_mean,
+        dip_min,
+        float(after_v[first_recovered:].mean()),
+        float(after_t[first_recovered] - fault_at_s),
+    )
+
+
 def cdf_points(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
     """Empirical CDF: (sorted values, cumulative fractions in (0, 1]).
 

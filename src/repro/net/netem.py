@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..errors import SimulationError, TopologyError
+from ..errors import RoutingError, SimulationError, TopologyError
 from ..mesh.routing import Router
 from ..mesh.topology import MeshTopology
 from ..sim.engine import Engine
@@ -151,6 +151,36 @@ class NetworkEmulator:
         return self.add_flow(
             flow_id, src, dst, old.demand_mbps, tag=old.tag
         )
+
+    def on_topology_change(self) -> dict[str, list[str]]:
+        """Re-path every flow after nodes or links change state.
+
+        Models the mesh routing protocol reconverging after a failure
+        (or a recovery): each flow is re-resolved over the live mesh.
+        Flows whose endpoints can no longer reach each other — an
+        endpoint crashed, or the mesh partitioned between them — are
+        torn down; their traffic simply stops.
+
+        Returns:
+            ``{"rerouted": [...], "removed": [...]}`` flow ids, for
+            callers (the fault injector) that want to trace the impact.
+        """
+        rerouted: list[str] = []
+        removed: list[str] = []
+        for fid, flow in list(self._flows.items()):
+            try:
+                path = self.router.traceroute(flow.src, flow.dst)
+            except RoutingError:
+                del self._flows[fid]
+                removed.append(fid)
+                self._dirty = True
+                continue
+            if path != flow.path:
+                flow.path = path
+                flow.links = tuple(zip(path, path[1:]))
+                rerouted.append(fid)
+                self._dirty = True
+        return {"rerouted": rerouted, "removed": removed}
 
     # -- fluid model ------------------------------------------------------
 

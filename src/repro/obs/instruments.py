@@ -160,7 +160,15 @@ class StandardInstruments:
     * ``bass_migrations_total`` / ``bass_restart_seconds`` — migrations
       and their restart windows;
     * ``bass_migration_deflections_total`` — arbiter deflections;
-    * ``bass_link_utilization`` — per-headroom-probe link utilization.
+    * ``bass_link_utilization`` — per-headroom-probe link utilization;
+    * ``bass_faults_total{fault}`` — injected faults by kind;
+    * ``bass_node_failures_detected_total`` /
+      ``bass_detection_latency_seconds`` — confirmed-dead nodes and the
+      heartbeat detection latency distribution;
+    * ``bass_recoveries_total`` / ``bass_recovery_failures_total`` —
+      crash-evicted pods re-placed (or not) on surviving nodes;
+    * ``bass_arbiter_conflicts_total`` — fleet-arbiter contention
+      across both migration and recovery deflections.
     """
 
     def __init__(self, registry: Optional[InstrumentRegistry] = None) -> None:
@@ -195,5 +203,22 @@ class StandardInstruments:
             registry.histogram("bass_restart_seconds").observe(
                 time, event.data.get("restart_s", 0.0)
             )
+            if event.data.get("reason") == "crash recovery":
+                registry.counter("bass_recoveries_total").inc(time)
         elif kind == "migration.deflected":
             registry.counter("bass_migration_deflections_total").inc(time)
+            registry.counter("bass_arbiter_conflicts_total").inc(time)
+        elif kind == "fault.injected":
+            registry.counter(
+                "bass_faults_total",
+                fault=event.data.get("fault", "unknown"),
+            ).inc(time)
+        elif kind == "node.confirmed_dead":
+            registry.counter("bass_node_failures_detected_total").inc(time)
+            registry.histogram("bass_detection_latency_seconds").observe(
+                time, event.data.get("detection_latency_s", 0.0)
+            )
+        elif kind == "recovery.failed":
+            registry.counter("bass_recovery_failures_total").inc(time)
+        elif kind == "recovery.deflected":
+            registry.counter("bass_arbiter_conflicts_total").inc(time)

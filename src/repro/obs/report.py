@@ -21,8 +21,10 @@ from .trace import TraceEvent, read_trace
 
 __all__ = [
     "MigrationChain",
+    "RecoveryChain",
     "cause_chain",
     "migration_chains",
+    "recovery_chains",
     "render_report",
     "read_trace",
 ]
@@ -102,6 +104,69 @@ def migration_chains(events: Sequence[TraceEvent]) -> list[MigrationChain]:
     return chains
 
 
+@dataclass
+class RecoveryChain:
+    """One crash recovery and every causal ancestor the trace records.
+
+    The full chain is ``fault.injected → node.suspected →
+    node.confirmed_dead → recovery.plan → restart`` (one restart per
+    re-placed pod; ``recovery.failed`` entries record pods no surviving
+    node could take).
+    """
+
+    plan: TraceEvent
+    restarts: list[TraceEvent] = field(default_factory=list)
+    failures: list[TraceEvent] = field(default_factory=list)
+    deflections: list[TraceEvent] = field(default_factory=list)
+    confirmed: Optional[TraceEvent] = None
+    suspected: Optional[TraceEvent] = None
+    fault: Optional[TraceEvent] = None
+
+    @property
+    def complete(self) -> bool:
+        """Fault → suspicion → confirmation → plan → restart(s), all
+        present and every lost pod re-placed."""
+        return (
+            None not in (self.fault, self.suspected, self.confirmed)
+            and bool(self.restarts)
+            and not self.failures
+        )
+
+
+def recovery_chains(events: Sequence[TraceEvent]) -> list[RecoveryChain]:
+    """Reconstruct every crash recovery's cause chain from a trace."""
+    by_id = {event.id: event for event in events}
+    by_cause: dict[str, dict[int, list[TraceEvent]]] = {}
+    for event in events:
+        if event.cause is not None:
+            by_cause.setdefault(event.kind, {}).setdefault(
+                event.cause, []
+            ).append(event)
+
+    chains = []
+    for event in events:
+        if event.kind != "recovery.plan":
+            continue
+        chain = RecoveryChain(plan=event)
+        chain.restarts = by_cause.get("restart", {}).get(event.id, [])
+        chain.failures = by_cause.get("recovery.failed", {}).get(event.id, [])
+        chain.deflections = by_cause.get("recovery.deflected", {}).get(
+            event.id, []
+        )
+        for ancestor in cause_chain(by_id, event)[1:]:
+            if (
+                ancestor.kind == "node.confirmed_dead"
+                and chain.confirmed is None
+            ):
+                chain.confirmed = ancestor
+            elif ancestor.kind == "node.suspected" and chain.suspected is None:
+                chain.suspected = ancestor
+            elif ancestor.kind == "fault.injected" and chain.fault is None:
+                chain.fault = ancestor
+        chains.append(chain)
+    return chains
+
+
 def _describe(event: TraceEvent) -> str:
     """One-line description of an event for the report body."""
     data = event.data
@@ -149,6 +214,46 @@ def _describe(event: TraceEvent) -> str:
         return (
             f"{prefix}: {data.get('component')} restarting on "
             f"{data.get('to')} for {data.get('restart_s', float('nan')):.1f}s"
+        )
+    if event.kind == "fault.injected":
+        return (
+            f"{prefix}: {data.get('fault')} hit {data.get('target')} "
+            f"({data.get('flows_removed', 0)} flow(s) torn down, "
+            f"{data.get('flows_rerouted', 0)} rerouted)"
+        )
+    if event.kind == "fault.cleared":
+        return (
+            f"{prefix}: {data.get('fault')} on {data.get('target')} cleared"
+        )
+    if event.kind == "node.suspected":
+        return (
+            f"{prefix}: {data.get('node')} suspected after "
+            f"{data.get('missed_beats')} missed heartbeat(s)"
+        )
+    if event.kind == "node.confirmed_dead":
+        return (
+            f"{prefix}: {data.get('node')} confirmed dead "
+            f"(detection latency "
+            f"{data.get('detection_latency_s', float('nan')):.1f}s)"
+        )
+    if event.kind == "node.recovered":
+        return f"{prefix}: {data.get('node')} heartbeats resumed"
+    if event.kind == "recovery.plan":
+        pods = ", ".join(data.get("pods", [])) or "(none)"
+        return (
+            f"{prefix}: re-place [{pods}] of app {event.app or '-'} "
+            f"lost on {data.get('node')}"
+        )
+    if event.kind == "recovery.deflected":
+        granted = data.get("granted") or "nowhere (stranded)"
+        return (
+            f"{prefix}: {data.get('component')} deflected off "
+            f"{data.get('preferred')} -> {granted} by another tenant's claim"
+        )
+    if event.kind == "recovery.failed":
+        return (
+            f"{prefix}: no surviving node could take "
+            f"{data.get('component')} from {data.get('node')}"
         )
     extras = " ".join(f"{k}={v}" for k, v in sorted(data.items()))
     return f"{prefix}: {extras}" if extras else prefix
@@ -201,6 +306,32 @@ def render_report(events: Sequence[TraceEvent]) -> str:
         if not chain.complete:
             lines.append(f"{indent}!! incomplete cause chain")
 
+    recoveries = recovery_chains(events)
+    if recoveries:
+        lines.append("")
+        lines.append(f"recoveries: {len(recoveries)}")
+        for index, chain in enumerate(recoveries, 1):
+            app = chain.plan.app or "-"
+            lines.append(f"  [{index}] app={app} {_describe(chain.plan)}")
+            indent = "      "
+            for label, link in (
+                ("confirmed", chain.confirmed),
+                ("suspected", chain.suspected),
+                ("fault", chain.fault),
+            ):
+                if link is not None:
+                    lines.append(f"{indent}{label:<10s} {_describe(link)}")
+                else:
+                    lines.append(f"{indent}{label:<10s} (missing from trace)")
+            for restart in chain.restarts:
+                lines.append(f"{indent}restart    {_describe(restart)}")
+            for failure in chain.failures:
+                lines.append(f"{indent}failed     {_describe(failure)}")
+            for deflection in chain.deflections:
+                lines.append(f"{indent}deflected  {_describe(deflection)}")
+            if not chain.complete:
+                lines.append(f"{indent}!! incomplete cause chain")
+
     deflections = [e for e in events if e.kind == "migration.deflected"]
     restarts = [e for e in events if e.kind == "restart"]
     restart_costs = [e.data.get("restart_s", 0.0) for e in restarts]
@@ -227,6 +358,29 @@ def render_report(events: Sequence[TraceEvent]) -> str:
         f"  migrations: {len(chains)} selected, {len(restarts)} restarted, "
         f"{len(deflections)} deflected"
     )
+    if counts.get("fault.injected"):
+        lines.append(
+            f"  faults: {counts.get('fault.injected', 0)} injected, "
+            f"{counts.get('fault.cleared', 0)} cleared; "
+            f"{counts.get('node.confirmed_dead', 0)} node(s) confirmed dead"
+        )
+        recovered = sum(len(c.restarts) for c in recoveries)
+        stranded = sum(len(c.failures) for c in recoveries)
+        recovery_deflections = sum(len(c.deflections) for c in recoveries)
+        lines.append(
+            f"  recoveries: {recovered} pod(s) re-placed, "
+            f"{stranded} stranded, {recovery_deflections} deflected"
+        )
+        latencies = [
+            e.data.get("detection_latency_s", 0.0)
+            for e in events
+            if e.kind == "node.confirmed_dead"
+        ]
+        if latencies:
+            lines.append(
+                f"  detection latency seconds: p50={p50(latencies):.2f} "
+                f"p95={p95(latencies):.2f} p99={p99(latencies):.2f}"
+            )
     if restart_costs:
         lines.append(
             f"  restart seconds: p50={p50(restart_costs):.2f} "

@@ -48,6 +48,14 @@ EVENT_KINDS = (
     "migration.deflected",  # arbiter claims changed/blocked the choice
     "migration.aborted",  # a selected migration failed to execute
     "restart",  # orchestrator rebound the pod; restart window opened
+    "fault.injected",  # the chaos layer executed a planned fault
+    "fault.cleared",  # a planned fault ended (reboot, link restored)
+    "node.suspected",  # heartbeats missing; node under suspicion
+    "node.confirmed_dead",  # suspicion confirmed after repeated misses
+    "node.recovered",  # heartbeats resumed from a suspected/dead node
+    "recovery.plan",  # coordinator planned re-placement of lost pods
+    "recovery.deflected",  # arbiter contention changed a recovery target
+    "recovery.failed",  # a lost pod could not be re-placed anywhere
 )
 
 

@@ -16,12 +16,12 @@ class TestCli:
         expected = {
             "fig2", "fig4", "fig5", "fig8", "fig10", "fig11", "fig12",
             "fig13", "fig14a", "fig14b", "fig14cd", "fig15b", "fig16",
-            "multitenant", "table1", "table2", "table3", "table4",
+            "multitenant", "churn", "table1", "table2", "table3", "table4",
         }
         assert set(EXPERIMENTS) == expected
 
     @pytest.mark.parametrize(
-        "experiment", ["fig2", "fig10", "table1", "table4"]
+        "experiment", ["fig2", "fig10", "table1", "table4", "churn"]
     )
     def test_run_quick(self, experiment, capsys):
         assert main(["run", experiment, "--quick"]) == 0

@@ -54,15 +54,21 @@ class TestTraceroute:
         with pytest.raises(RoutingError):
             router.traceroute("node1", "island")
 
-    def test_cache_and_invalidate(self):
+    def test_cache_invalidates_on_topology_change(self):
         topo = diamond()
         router = Router(topo)
         assert router.traceroute("a", "d") == ["a", "b", "d"]
-        # Add a direct link; the cache hides it until invalidated.
+        # Adding a link bumps the topology version; the router notices
+        # and reconverges (as a real mesh protocol would) on next query.
         topo.add_link("a", "d", capacity_mbps=1.0)
+        assert router.traceroute("a", "d") == ["a", "d"]
+
+    def test_explicit_invalidate_still_works(self):
+        topo = diamond()
+        router = Router(topo)
         assert router.traceroute("a", "d") == ["a", "b", "d"]
         router.invalidate()
-        assert router.traceroute("a", "d") == ["a", "d"]
+        assert router.traceroute("a", "d") == ["a", "b", "d"]
 
 
 class TestPathQueries:

@@ -257,3 +257,54 @@ class TestExportSanitization:
         paths = collector.export_dir(tmp_path / "out")
         assert paths[0].parent == tmp_path / "out"
         assert ".." not in paths[0].name
+
+
+class TestRecoveryTimelineStats:
+    def timeline(self):
+        # 1.0 until the fault at t=10, zero for 10 s, then back to 1.0.
+        times = list(range(30))
+        values = [1.0] * 10 + [0.0] * 10 + [1.0] * 10
+        return times, values
+
+    def test_dip_and_recovery_measured(self):
+        from repro.metrics.summary import recovery_timeline_stats
+
+        times, values = self.timeline()
+        stats = recovery_timeline_stats(times, values, fault_at_s=10.0)
+        assert stats.pre_mean == pytest.approx(1.0)
+        assert stats.dip_min == pytest.approx(0.0)
+        assert stats.post_mean == pytest.approx(1.0)
+        assert stats.time_to_recover_s == pytest.approx(10.0)
+        assert stats.recovered
+
+    def test_never_recovered_is_none(self):
+        from repro.metrics.summary import recovery_timeline_stats
+
+        times = list(range(20))
+        values = [1.0] * 10 + [0.0] * 10
+        stats = recovery_timeline_stats(times, values, fault_at_s=10.0)
+        assert stats.time_to_recover_s is None
+        assert not stats.recovered
+        assert math.isnan(stats.post_mean)
+
+    def test_bounce_counts_final_return_only(self):
+        from repro.metrics.summary import recovery_timeline_stats
+
+        times = list(range(8))
+        values = [1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0]
+        stats = recovery_timeline_stats(times, values, fault_at_s=2.0)
+        assert stats.time_to_recover_s == pytest.approx(4.0)
+
+    def test_no_dip_recovers_instantly(self):
+        from repro.metrics.summary import recovery_timeline_stats
+
+        times = list(range(10))
+        values = [1.0] * 10
+        stats = recovery_timeline_stats(times, values, fault_at_s=5.0)
+        assert stats.time_to_recover_s == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.metrics.summary import recovery_timeline_stats
+
+        with pytest.raises(ValueError):
+            recovery_timeline_stats([1.0], [1.0, 2.0], fault_at_s=0.0)
