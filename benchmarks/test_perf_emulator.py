@@ -1,0 +1,271 @@
+"""Perf harness for the fluid-model hot path (the fast-path core).
+
+Every orchestrator signal is a query against :class:`NetworkEmulator`,
+so its per-tick cost bounds how long a trace replay or churn sweep
+takes.  This harness measures, across mesh sizes (5 -> 60 nodes) and
+flow counts (10 -> 500):
+
+* ticks/sec of the optimized tick loop (single capacity scan,
+  fingerprint cache, indexed/vectorized allocator), and
+* ticks/sec of a frozen copy of the seed implementation's tick path
+  (double capacity scan + reference water-filling each tick), and
+* solve-only time of the reference / indexed / vectorized allocators
+  on the same instance.
+
+Results are written to ``BENCH_emulator.json`` at the repo root (merged
+per case, so the smoke run in CI refreshes its sizes without clobbering
+the full sweep's) — the perf trajectory is tracked across PRs.  Both
+loops run on identically seeded emulators and must end with *exactly*
+equal allocations, so the speedup claim is never bought with drift.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.mesh.node import MeshNode
+from repro.mesh.tracegen import citylab_link_trace
+from repro.mesh.topology import MeshTopology
+from repro.net.fairness import (
+    FlowDemand,
+    max_min_allocation,
+    max_min_allocation_reference,
+)
+from repro.net.netem import NetworkEmulator
+
+from _reporting import fmt, run_once, save_table
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_emulator.json"
+
+#: (n_nodes, n_flows, n_ticks) — the sweep the acceptance criteria track.
+SMOKE_CASES = [(5, 10, 300), (15, 50, 150)]
+FULL_CASES = SMOKE_CASES + [(30, 200, 50), (60, 500, 30)]
+
+
+def random_mesh(n_nodes: int, seed: int, *, trace_s: float) -> MeshTopology:
+    """A connected random mesh: ring backbone plus seeded chords, every
+    link driven by a CityLab-style bandwidth trace so capacities really
+    change each tick (no fingerprint shortcuts for the solver)."""
+    rng = np.random.default_rng(seed)
+    topo = MeshTopology()
+    names = [f"node{i}" for i in range(n_nodes)]
+    for name in names:
+        topo.add_node(MeshNode(name, cpu_cores=8, memory_mb=8192))
+    pairs = [(names[i], names[(i + 1) % n_nodes]) for i in range(n_nodes)]
+    n_chords = n_nodes // 2
+    while len(pairs) < n_nodes + n_chords:
+        a, b = rng.choice(n_nodes, size=2, replace=False)
+        a, b = names[int(a)], names[int(b)]
+        if not topo.has_link(a, b) and (a, b) not in pairs and (b, a) not in pairs:
+            pairs.append((a, b))
+    for a, b in pairs:
+        mean = float(rng.uniform(8.0, 40.0))
+        link = topo.add_link(a, b, capacity_mbps=mean)
+        link.set_trace(
+            citylab_link_trace(mean, trace_s, variability="moderate", rng=rng)
+        )
+    return topo
+
+
+def add_random_flows(emu: NetworkEmulator, n_flows: int, seed: int) -> None:
+    rng = np.random.default_rng(seed + 1)
+    names = emu.topology.node_names
+    for i in range(n_flows):
+        src = names[int(rng.integers(0, len(names)))]
+        if rng.random() < 0.05:
+            dst = src  # loopback
+        else:
+            dst = names[int(rng.integers(0, len(names)))]
+        emu.add_flow(f"f{i}", src, dst, float(rng.uniform(0.1, 15.0)))
+
+
+def reference_tick(emu: NetworkEmulator) -> None:
+    """A frozen copy of the seed tick path: capacity scan, queue
+    advance, then a recompute that scans capacities *again* and solves
+    with the reference allocator — no fingerprint, no incidence index."""
+    capacities = emu._capacities_now()
+    offered = {key: 0.0 for key in emu._queues}
+    for flow in emu._flows.values():
+        for key in flow.links:
+            offered[key] += flow.demand_mbps
+        emu._offered_mbit_by_tag[flow.tag] = (
+            emu._offered_mbit_by_tag.get(flow.tag, 0.0)
+            + flow.demand_mbps * emu.tick_s * max(len(flow.links), 0)
+        )
+    for key, queue in emu._queues.items():
+        queue.update(emu.tick_s, offered[key], capacities[key])
+    capacities = emu._capacities_now()  # the seed's double scan
+    demands = [
+        FlowDemand(flow_id=fid, links=flow.links, demand_mbps=flow.demand_mbps)
+        for fid, flow in emu._flows.items()
+    ]
+    rates = max_min_allocation_reference(demands, capacities)
+    for fid, flow in emu._flows.items():
+        flow.allocated_mbps = rates.get(fid, 0.0)
+
+
+def build_emulator(n_nodes: int, n_flows: int, n_ticks: int) -> NetworkEmulator:
+    seed = 10_000 + n_nodes
+    topo = random_mesh(n_nodes, seed, trace_s=float(n_ticks + 5))
+    emu = NetworkEmulator(topo)
+    add_random_flows(emu, n_flows, seed)
+    return emu
+
+
+def time_tick_loop(emu: NetworkEmulator, n_ticks: int, tick) -> float:
+    """Drive ``tick`` through the engine for ``n_ticks`` steps; returns
+    elapsed wall seconds (engine dispatch overhead included for both
+    contenders)."""
+    task = emu.engine.every(emu.tick_s, lambda: tick(emu))
+    begin = time.perf_counter()
+    emu.engine.run_until(n_ticks * emu.tick_s)
+    elapsed = time.perf_counter() - begin
+    task.stop()
+    return elapsed
+
+
+def solve_snapshot(emu: NetworkEmulator) -> tuple[list[FlowDemand], dict]:
+    demands = [
+        FlowDemand(flow_id=fid, links=flow.links, demand_mbps=flow.demand_mbps)
+        for fid, flow in emu._flows.items()
+    ]
+    return demands, emu.capacities_now()
+
+
+def time_solvers(emu: NetworkEmulator, *, repeats: int = 3) -> dict[str, float]:
+    """Best-of-N solve-only wall time (ms) per allocator."""
+    demands, capacities = solve_snapshot(emu)
+    timings: dict[str, float] = {}
+    contenders = {
+        "reference": lambda: max_min_allocation_reference(demands, capacities),
+        "indexed": lambda: max_min_allocation(
+            demands, capacities, solver="indexed"
+        ),
+        "vectorized": lambda: max_min_allocation(
+            demands, capacities, solver="vectorized"
+        ),
+    }
+    for label, solve in contenders.items():
+        best = float("inf")
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            solve()
+            best = min(best, time.perf_counter() - begin)
+        timings[label] = best * 1000.0
+    return timings
+
+
+def run_case(n_nodes: int, n_flows: int, n_ticks: int) -> dict:
+    fast = build_emulator(n_nodes, n_flows, n_ticks)
+    ref = build_emulator(n_nodes, n_flows, n_ticks)
+
+    fast_s = time_tick_loop(fast, n_ticks, lambda emu: emu.tick())
+    ref_s = time_tick_loop(ref, n_ticks, reference_tick)
+
+    # Identically seeded runs must land on exactly equal allocations —
+    # the speedup is only valid if the fast path stayed bit-compatible.
+    fast_alloc = {f.flow_id: f.allocated_mbps for f in fast.flows}
+    ref_alloc = {f.flow_id: f.allocated_mbps for f in ref.flows}
+    assert fast_alloc == ref_alloc, "fast path diverged from reference"
+
+    solve_ms = time_solvers(fast)
+    return {
+        "nodes": n_nodes,
+        "flows": n_flows,
+        "ticks": n_ticks,
+        "fast_ticks_per_s": n_ticks / fast_s,
+        "reference_ticks_per_s": n_ticks / ref_s,
+        "tick_speedup": ref_s / fast_s,
+        "solve_ms": solve_ms,
+        "solver_speedup_vectorized": (
+            solve_ms["reference"] / solve_ms["vectorized"]
+            if solve_ms["vectorized"] > 0
+            else float("inf")
+        ),
+    }
+
+
+def persist(results: dict[str, dict]) -> None:
+    """Merge the measured cases into BENCH_emulator.json (smoke runs
+    refresh their sizes without dropping the full sweep's entries)."""
+    payload = {"schema": 1, "unit_note": "ticks_per_s higher is better", "cases": {}}
+    if BENCH_PATH.exists():
+        try:
+            previous = json.loads(BENCH_PATH.read_text())
+            payload["cases"] = previous.get("cases", {})
+        except (json.JSONDecodeError, OSError):
+            pass
+    payload["cases"].update(results)
+    payload["cases"] = dict(sorted(payload["cases"].items()))
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def run_suite(cases) -> dict[str, dict]:
+    results = {}
+    for n_nodes, n_flows, n_ticks in cases:
+        results[f"n{n_nodes:03d}_f{n_flows:03d}"] = run_case(
+            n_nodes, n_flows, n_ticks
+        )
+    return results
+
+
+def report(results: dict[str, dict], name: str) -> None:
+    save_table(
+        name,
+        [
+            "nodes",
+            "flows",
+            "fast_ticks_per_s",
+            "ref_ticks_per_s",
+            "tick_speedup",
+            "solve_ref_ms",
+            "solve_indexed_ms",
+            "solve_vector_ms",
+        ],
+        [
+            [
+                row["nodes"],
+                row["flows"],
+                fmt(row["fast_ticks_per_s"], 1),
+                fmt(row["reference_ticks_per_s"], 1),
+                fmt(row["tick_speedup"], 2),
+                fmt(row["solve_ms"]["reference"], 3),
+                fmt(row["solve_ms"]["indexed"], 3),
+                fmt(row["solve_ms"]["vectorized"], 3),
+            ]
+            for row in results.values()
+        ],
+        note="traced random meshes; both tick loops engine-driven and "
+        "bit-identical by assertion; BENCH_emulator.json tracks the series",
+    )
+
+
+@pytest.mark.benchmark(group="perf_emulator")
+def test_perf_emulator_smoke(benchmark):
+    """CI fast path: small sizes only, sanity-checks the fast path wins."""
+    results = run_once(benchmark, lambda: run_suite(SMOKE_CASES))
+    persist(results)
+    report(results, "perf_emulator_smoke")
+    for row in results.values():
+        assert row["fast_ticks_per_s"] > 0
+        # The fast path must never lose to the frozen reference by more
+        # than timer noise, even at trivial sizes.
+        assert row["tick_speedup"] > 0.8
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="perf_emulator")
+def test_perf_emulator_full_sweep(benchmark):
+    """The tracked sweep: >=4 mesh sizes, and the large-instance tick
+    loop must hold a >=3x speedup over the frozen reference path."""
+    results = run_once(benchmark, lambda: run_suite(FULL_CASES))
+    persist(results)
+    report(results, "perf_emulator")
+    largest = results[max(results)]
+    assert largest["nodes"] == 60 and largest["flows"] == 500
+    assert largest["tick_speedup"] >= 3.0, (
+        f"large-instance speedup {largest['tick_speedup']:.2f}x < 3x"
+    )

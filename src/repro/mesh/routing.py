@@ -52,8 +52,10 @@ class Router:
             )
         self._topology = topology
         self.strategy = strategy
-        self._path_cache: dict[tuple[str, str], list[str]] = {}
+        self._path_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+        self._link_cache: dict[tuple[str, str], tuple[tuple[str, str], ...]] = {}
         self._cached_version = topology.version
+        self._link_cache_version = topology.version
 
     @property
     def topology(self) -> MeshTopology:
@@ -62,9 +64,14 @@ class Router:
     def invalidate(self) -> None:
         """Drop cached paths (call after adding nodes or links)."""
         self._path_cache.clear()
+        self._link_cache.clear()
 
-    def traceroute(self, src: str, dst: str) -> list[str]:
+    def traceroute(self, src: str, dst: str) -> tuple[str, ...]:
         """The node path from ``src`` to ``dst``, inclusive of both ends.
+
+        Returns the cached immutable tuple itself — callers on the hot
+        path (the emulator's per-query path resolution) share it without
+        a per-call copy.
 
         Raises:
             RoutingError: if the mesh is partitioned between the nodes.
@@ -77,12 +84,15 @@ class Router:
             # since the cache was filled — recompute from scratch.
             self._path_cache.clear()
             self._cached_version = self._topology.version
-        if src == dst:
-            return [src]
         key = (src, dst)
-        if key not in self._path_cache:
-            self._path_cache[key] = self._shortest_path(src, dst)
-        return list(self._path_cache[key])
+        cached = self._path_cache.get(key)
+        if cached is None:
+            if src == dst:
+                cached = (src,)
+            else:
+                cached = tuple(self._shortest_path(src, dst))
+            self._path_cache[key] = cached
+        return cached
 
     def _shortest_path(self, src: str, dst: str) -> list[str]:
         if self.strategy == "widest":
@@ -132,6 +142,24 @@ class Router:
     def hop_count(self, src: str, dst: str) -> int:
         """Number of wireless hops between the nodes (0 if same node)."""
         return len(self.traceroute(src, dst)) - 1
+
+    def path_link_keys(self, src: str, dst: str) -> tuple[tuple[str, str], ...]:
+        """Directed (src, dst) link keys along the route, cached.
+
+        The per-route tuple is computed once and shared, so per-query
+        callers (``path_available_bandwidth``, ``path_delay_s``) avoid
+        re-zipping the node path on every call.
+        """
+        if self._link_cache_version != self._topology.version:
+            self._link_cache.clear()
+            self._link_cache_version = self._topology.version
+        key = (src, dst)
+        cached = self._link_cache.get(key)
+        if cached is None:
+            path = self.traceroute(src, dst)
+            cached = tuple(zip(path, path[1:]))
+            self._link_cache[key] = cached
+        return cached
 
     def bottleneck_bandwidth(self, src: str, dst: str, t: float) -> float:
         """Path capacity = minimum directed link capacity along the route.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .fairness import LinkKey
 
@@ -28,7 +28,7 @@ class Flow:
     src: str
     dst: str
     demand_mbps: float
-    path: list[str] = field(default_factory=list)
+    path: tuple[str, ...] = ()
     links: tuple[LinkKey, ...] = ()
     tag: str = "app"
     allocated_mbps: float = 0.0

@@ -72,6 +72,21 @@ class NetworkEmulator:
         self._offered_mbit_by_tag: dict[str, float] = {}
         self._ticker = None
         self._dirty = True
+        #: Reverse index: directed link -> ordered set of flow ids that
+        #: traverse it (an insertion-ordered dict used as a set, so
+        #: per-link sums visit flows in registration order and stay
+        #: byte-identical with a scan over ``self._flows``).
+        self._flows_by_link: dict[LinkKey, dict[str, None]] = {}
+        #: Bumped whenever the flow set changes shape (add/remove,
+        #: demand update, reroute) — one third of the allocation
+        #: fingerprint alongside the topology version and the capacity
+        #: vector.
+        self._flows_rev = 0
+        self._alloc_fingerprint: Optional[tuple] = None
+        #: FlowDemand list reused across solves while the flow set is
+        #: unchanged (keyed by ``_flows_rev``) — rebuilding it every
+        #: tick is pure allocation churn.
+        self._demands_cache: Optional[tuple[int, list[FlowDemand]]] = None
 
     # -- lifecycle --------------------------------------------------------
 
@@ -106,7 +121,7 @@ class NetworkEmulator:
         if demand_mbps < 0:
             raise SimulationError("demand_mbps must be >= 0")
         path = self.router.traceroute(src, dst)
-        links = tuple(zip(path, path[1:]))
+        links = self.router.path_link_keys(src, dst)
         flow = Flow(
             flow_id=flow_id,
             src=src,
@@ -117,13 +132,29 @@ class NetworkEmulator:
             tag=tag,
         )
         self._flows[flow_id] = flow
+        self._index_flow(flow)
+        self._flows_rev += 1
         self._dirty = True
         return flow
 
     def remove_flow(self, flow_id: str) -> None:
-        if flow_id in self._flows:
-            del self._flows[flow_id]
+        flow = self._flows.pop(flow_id, None)
+        if flow is not None:
+            self._unindex_flow(flow)
+            self._flows_rev += 1
             self._dirty = True
+
+    def _index_flow(self, flow: Flow) -> None:
+        for key in flow.links:
+            self._flows_by_link.setdefault(key, {})[flow.flow_id] = None
+
+    def _unindex_flow(self, flow: Flow) -> None:
+        for key in flow.links:
+            members = self._flows_by_link.get(key)
+            if members is not None:
+                members.pop(flow.flow_id, None)
+                if not members:
+                    del self._flows_by_link[key]
 
     def has_flow(self, flow_id: str) -> bool:
         return flow_id in self._flows
@@ -142,6 +173,7 @@ class NetworkEmulator:
         if demand_mbps < 0:
             raise SimulationError("demand_mbps must be >= 0")
         self.flow(flow_id).demand_mbps = demand_mbps
+        self._flows_rev += 1
         self._dirty = True
 
     def reroute_flow(self, flow_id: str, src: str, dst: str) -> Flow:
@@ -172,14 +204,33 @@ class NetworkEmulator:
                 path = self.router.traceroute(flow.src, flow.dst)
             except RoutingError:
                 del self._flows[fid]
+                self._unindex_flow(flow)
                 removed.append(fid)
+                self._flows_rev += 1
                 self._dirty = True
                 continue
             if path != flow.path:
+                self._unindex_flow(flow)
                 flow.path = path
-                flow.links = tuple(zip(path, path[1:]))
+                flow.links = self.router.path_link_keys(flow.src, flow.dst)
+                self._index_flow(flow)
                 rerouted.append(fid)
+                self._flows_rev += 1
                 self._dirty = True
+        if rerouted:
+            # Re-establish registration order in the per-link sets a
+            # reroute appended to, so per-link sums keep visiting flows
+            # in ``self._flows`` order (byte-identical accounting).
+            order = {fid: i for i, fid in enumerate(self._flows)}
+            affected: set[LinkKey] = set()
+            for fid in rerouted:
+                affected.update(self._flows[fid].links)
+            for key in affected:
+                members = self._flows_by_link.get(key)
+                if members is not None and len(members) > 1:
+                    self._flows_by_link[key] = dict.fromkeys(
+                        sorted(members, key=order.__getitem__)
+                    )
         return {"rerouted": rerouted, "removed": removed}
 
     # -- fluid model ------------------------------------------------------
@@ -195,20 +246,46 @@ class NetworkEmulator:
         """Instantaneous capacity of every directed link (what-if input)."""
         return self._capacities_now()
 
-    def recompute(self) -> None:
-        """Recompute the max-min allocation for the current instant."""
-        capacities = self._capacities_now()
-        demands = [
-            FlowDemand(
-                flow_id=fid,
-                links=flow.links,
-                demand_mbps=flow.demand_mbps,
-            )
-            for fid, flow in self._flows.items()
-        ]
+    def recompute(self, capacities: Optional[dict[LinkKey, float]] = None) -> None:
+        """Recompute the max-min allocation for the current instant.
+
+        Args:
+            capacities: the already-computed capacity vector for *now*
+                (``tick`` passes its own scan through so each tick reads
+                the topology exactly once); computed fresh when omitted.
+
+        The solve is skipped entirely when the allocation fingerprint —
+        topology version, flow-set revision, and the capacity vector —
+        matches the previous computation: nothing moved, so the rates
+        already on the flows are still exact.
+        """
+        if capacities is None:
+            capacities = self._capacities_now()
+        fingerprint = (
+            self.topology.version,
+            self._flows_rev,
+            tuple(capacities.values()),
+        )
+        if fingerprint == self._alloc_fingerprint:
+            self._dirty = False
+            return
+        cached = self._demands_cache
+        if cached is not None and cached[0] == self._flows_rev:
+            demands = cached[1]
+        else:
+            demands = [
+                FlowDemand(
+                    flow_id=fid,
+                    links=flow.links,
+                    demand_mbps=flow.demand_mbps,
+                )
+                for fid, flow in self._flows.items()
+            ]
+            self._demands_cache = (self._flows_rev, demands)
         rates = max_min_allocation(demands, capacities)
         for fid, flow in self._flows.items():
             flow.allocated_mbps = rates.get(fid, 0.0)
+        self._alloc_fingerprint = fingerprint
         self._dirty = False
 
     def tick(self) -> None:
@@ -224,7 +301,7 @@ class NetworkEmulator:
             )
         for key, queue in self._queues.items():
             queue.update(self.tick_s, offered[key], capacities[key])
-        self.recompute()
+        self.recompute(capacities)
 
     def _ensure_fresh(self) -> None:
         if self._dirty:
@@ -237,23 +314,26 @@ class NetworkEmulator:
         return self.topology.capacity(src, dst, self.now)
 
     def link_allocated(self, src: str, dst: str) -> float:
-        """Sum of allocated rates crossing the directed link."""
+        """Sum of allocated rates crossing the directed link.
+
+        O(flows on the link) via the reverse index, not O(all flows) —
+        this is queried per link, per epoch, by the net-monitor,
+        controller, and fault injector.
+        """
         self._ensure_fresh()
-        key = (src, dst)
-        return sum(
-            flow.allocated_mbps
-            for flow in self._flows.values()
-            if key in flow.links
-        )
+        members = self._flows_by_link.get((src, dst))
+        if not members:
+            return 0.0
+        flows = self._flows
+        return sum(flows[fid].allocated_mbps for fid in members)
 
     def link_offered(self, src: str, dst: str) -> float:
         """Sum of offered demand crossing the directed link."""
-        key = (src, dst)
-        return sum(
-            flow.demand_mbps
-            for flow in self._flows.values()
-            if key in flow.links
-        )
+        members = self._flows_by_link.get((src, dst))
+        if not members:
+            return 0.0
+        flows = self._flows
+        return sum(flows[fid].demand_mbps for fid in members)
 
     def link_utilization(self, src: str, dst: str) -> float:
         """Allocated / capacity for the directed link (0 on a dead link)."""
@@ -268,12 +348,10 @@ class NetworkEmulator:
 
     def path_available_bandwidth(self, src: str, dst: str) -> float:
         """Bottleneck spare capacity along the route (inf if co-located)."""
-        path = self.router.traceroute(src, dst)
-        if len(path) == 1:
+        links = self.router.path_link_keys(src, dst)
+        if not links:
             return float("inf")
-        return min(
-            self.available_bandwidth(a, b) for a, b in zip(path, path[1:])
-        )
+        return min(self.available_bandwidth(a, b) for a, b in links)
 
     def path_capacity(self, src: str, dst: str) -> float:
         """Bottleneck total capacity along the route (inf if co-located)."""
@@ -294,23 +372,19 @@ class NetworkEmulator:
 
     def path_delay_s(self, src: str, dst: str) -> float:
         """One-way path delay: propagation plus queueing at each hop."""
-        path = self.router.traceroute(src, dst)
-        if len(path) == 1:
-            return 0.0
+        links = self.router.path_link_keys(src, dst)
         total = 0.0
-        for a, b in zip(path, path[1:]):
+        for a, b in links:
             total += self.topology.link(a, b).latency_ms / 1000.0
             total += self.queue_delay_s(a, b)
         return total
 
     def path_loss_fraction(self, src: str, dst: str) -> float:
         """Compound loss across the route's queues (last tick)."""
-        path = self.router.traceroute(src, dst)
-        if len(path) == 1:
-            return 0.0
+        links = self.router.path_link_keys(src, dst)
         delivered = 1.0
-        for a, b in zip(path, path[1:]):
-            delivered *= 1.0 - self._queues[(a, b)].last_loss_fraction
+        for key in links:
+            delivered *= 1.0 - self._queues[key].last_loss_fraction
         return 1.0 - delivered
 
     def transfer_time_s(self, src: str, dst: str, megabits: float) -> float:
@@ -321,8 +395,7 @@ class NetworkEmulator:
         """
         if megabits <= 0:
             return 0.0
-        path = self.router.traceroute(src, dst)
-        if len(path) == 1:
+        if not self.router.path_link_keys(src, dst):
             return 0.0
         rate = self.path_available_bandwidth(src, dst)
         rate = max(rate, 0.01)  # a starved path still trickles

@@ -114,10 +114,18 @@ class ScheduledEvent:
     seq: int
     callback: Callback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the engine once the event leaves the queue (executed or
+    #: skipped), so a late ``cancel`` cannot skew the live-event count.
+    done: bool = field(default=False, compare=False, repr=False)
+    _engine: "Optional[Engine]" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
+        if self.cancelled or self.done:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
 
 
 class PeriodicTask:
@@ -178,6 +186,7 @@ class Engine:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        self._cancelled_pending = 0
         self._profiler: Optional[EngineProfiler] = None
 
     @property
@@ -204,8 +213,30 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued (not yet executed or cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued (not yet executed or cancelled) events.
+
+        O(1): the engine counts cancellations as they happen instead of
+        scanning the heap.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """Account one cancellation; compact once tombstones dominate.
+
+        Cancelled events used to linger in the heap until their time
+        came, so churny workloads (periodic tasks torn down by fault
+        injection, short-lived probes) paid for dead entries on every
+        push/pop.  When more than half the queue is tombstones the live
+        events are re-heapified — amortized O(1) per cancellation.
+        """
+        self._cancelled_pending += 1
+        if self._cancelled_pending * 2 > len(self._queue):
+            for event in self._queue:
+                if event.cancelled:
+                    event.done = True
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     @property
     def processed_events(self) -> int:
@@ -222,7 +253,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self._now}"
             )
-        event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        event = ScheduledEvent(
+            time=time, seq=next(self._seq), callback=callback, _engine=self
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -256,7 +289,9 @@ class Engine:
         try:
             while self._queue and self._queue[0].time <= end_time:
                 event = heapq.heappop(self._queue)
+                event.done = True
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 if self._profiler is None:
@@ -277,7 +312,9 @@ class Engine:
         try:
             while self._queue:
                 event = heapq.heappop(self._queue)
+                event.done = True
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 if executed >= max_events:
                     raise SimulationError(

@@ -1,0 +1,140 @@
+"""Bit-compatibility of the fast-path allocators against the oracle.
+
+The indexed and vectorized solvers in ``repro.net.fairness`` must return
+*exactly* the allocation the frozen reference implementation computes —
+not merely close: the emulator's golden figure benchmarks are pinned
+byte-for-byte, so any reassociated float operation would surface as a
+golden diff.  This suite replays hundreds of seeded random instances —
+including loopback flows, zero demands, saturated links, and dead
+(zero-capacity) links — through all three solvers and compares with
+``==``, no tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.fairness import (
+    FlowDemand,
+    max_min_allocation,
+    max_min_allocation_reference,
+)
+
+#: (instances, links, flows, seed base) per size class; 240 instances total.
+SIZE_CLASSES = [
+    (120, 6, 8, 1000),
+    (80, 40, 60, 2000),
+    (40, 120, 300, 3000),
+]
+
+
+def random_instance(rng, n_links, n_flows):
+    """A seeded random allocation instance with every edge case mixed in."""
+    links = [(f"n{i}", f"n{i + 1}") for i in range(n_links)]
+    capacities = {}
+    for key in links:
+        roll = rng.random()
+        if roll < 0.08:
+            capacities[key] = 0.0  # dead link (crashed endpoint)
+        elif roll < 0.16:
+            capacities[key] = float(rng.uniform(0.0, 0.5))  # nearly dead
+        else:
+            capacities[key] = float(rng.uniform(1.0, 100.0))
+    flows = []
+    for i in range(n_flows):
+        roll = rng.random()
+        if roll < 0.08:
+            path = ()  # loopback: endpoints co-located
+        else:
+            start = int(rng.integers(0, n_links))
+            hops = int(rng.integers(1, min(5, n_links) + 1))
+            path = tuple(links[(start + h) % n_links] for h in range(hops))
+        if rng.random() < 0.08:
+            demand = 0.0
+        elif rng.random() < 0.25:
+            demand = float(rng.uniform(50.0, 500.0))  # saturating
+        else:
+            demand = float(rng.uniform(0.1, 20.0))
+        flows.append(FlowDemand(flow_id=f"f{i}", links=path, demand_mbps=demand))
+    return flows, capacities
+
+
+@pytest.mark.parametrize(
+    "instances,n_links,n_flows,seed_base",
+    SIZE_CLASSES,
+    ids=["small", "medium", "large"],
+)
+def test_solvers_bit_identical_on_random_instances(
+    instances, n_links, n_flows, seed_base
+):
+    for case in range(instances):
+        rng = np.random.default_rng(seed_base + case)
+        flows, capacities = random_instance(rng, n_links, n_flows)
+        expected = max_min_allocation_reference(flows, capacities)
+        for solver in ("indexed", "vectorized", "auto"):
+            got = max_min_allocation(flows, capacities, solver=solver)
+            assert got == expected, (
+                f"solver={solver} diverged on seed {seed_base + case}"
+            )
+
+
+def test_all_solvers_handle_empty_input():
+    for solver in ("reference", "indexed", "vectorized", "auto"):
+        assert max_min_allocation([], {}, solver=solver) == {}
+
+
+def test_all_solvers_grant_loopback_and_zero_demand():
+    flows = [
+        FlowDemand("loop", (), 7.5),
+        FlowDemand("idle", (("a", "b"),), 0.0),
+    ]
+    capacities = {("a", "b"): 10.0}
+    expected = {"loop": 7.5, "idle": 0.0}
+    for solver in ("reference", "indexed", "vectorized", "auto"):
+        assert max_min_allocation(flows, capacities, solver=solver) == expected
+
+
+def test_all_solvers_reject_unknown_links():
+    flows = [FlowDemand("f", (("a", "ghost"),), 1.0)]
+    for solver in ("reference", "indexed", "vectorized", "auto"):
+        with pytest.raises(KeyError):
+            max_min_allocation(flows, {("a", "b"): 10.0}, solver=solver)
+
+
+def test_unknown_solver_rejected():
+    with pytest.raises(ValueError):
+        max_min_allocation([], {}, solver="quantum")
+
+
+def test_auto_uses_vectorized_on_large_instances():
+    """The dispatcher's large-instance branch must agree with the oracle
+    on a shape that actually crosses the thresholds."""
+    rng = np.random.default_rng(77)
+    flows, capacities = random_instance(rng, 100, 400)
+    assert max_min_allocation(
+        flows, capacities
+    ) == max_min_allocation_reference(flows, capacities)
+
+
+def test_dead_links_pin_their_flows_to_zero():
+    flows = [
+        FlowDemand("dead", (("a", "b"),), 5.0),
+        FlowDemand("live", (("b", "c"),), 5.0),
+    ]
+    capacities = {("a", "b"): 0.0, ("b", "c"): 10.0}
+    for solver in ("reference", "indexed", "vectorized", "auto"):
+        rates = max_min_allocation(flows, capacities, solver=solver)
+        assert rates == {"dead": 0.0, "live": 5.0}
+
+
+def test_repeated_link_on_a_path_counts_twice_everywhere():
+    """A path that crosses the same directed link twice (legal for the
+    public API even if shortest paths never do it) must double-count in
+    every solver, as the reference does."""
+    flows = [
+        FlowDemand("twice", (("a", "b"), ("b", "a"), ("a", "b")), 50.0),
+        FlowDemand("once", (("a", "b"),), 50.0),
+    ]
+    capacities = {("a", "b"): 30.0, ("b", "a"): 30.0}
+    expected = max_min_allocation_reference(flows, capacities)
+    for solver in ("indexed", "vectorized", "auto"):
+        assert max_min_allocation(flows, capacities, solver=solver) == expected

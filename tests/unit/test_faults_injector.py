@@ -52,9 +52,9 @@ class TestNodeCrash:
         netem.engine.run_until(30.0)
         assert netem.topology.is_node_up("node2")
         assert netem.topology.is_link_up("node1", "node2")
-        assert netem.router.traceroute("node1", "node3") == [
+        assert netem.router.traceroute("node1", "node3") == (
             "node1", "node2", "node3",
-        ]
+        )
 
     def test_ground_truth_records_last_fault(self):
         netem = make_netem(line_topology([10.0, 10.0]))
@@ -70,11 +70,11 @@ class TestLinkFaults:
     def test_link_down_reroutes_flows(self):
         netem = make_netem(full_mesh_topology(3))
         netem.add_flow("f", "node1", "node2", 2.0)
-        assert netem.flow("f").path == ["node1", "node2"]
+        assert netem.flow("f").path == ("node1", "node2")
         injector = install(netem, [LinkDown(at_s=5.0, a="node1", b="node2")])
         netem.engine.run_until(10.0)
         assert netem.has_flow("f")
-        assert netem.flow("f").path == ["node1", "node3", "node2"]
+        assert netem.flow("f").path == ("node1", "node3", "node2")
         assert injector.injected[0].flows_rerouted == 1
         # Both endpoints are still alive; only the link failed.
         assert netem.topology.is_node_up("node1")
@@ -89,7 +89,7 @@ class TestLinkFaults:
         )
         netem.engine.run_until(20.0)
         assert netem.topology.is_link_up("node1", "node2")
-        assert netem.flow("f").path == ["node1", "node2"]
+        assert netem.flow("f").path == ("node1", "node2")
 
     def test_flap_applies_every_cycle(self):
         netem = make_netem(full_mesh_topology(3))
@@ -127,7 +127,7 @@ class TestPartition:
             [Partition(at_s=5.0, group=("node1",), heal_after_s=10.0)],
         )
         netem.engine.run_until(20.0)
-        assert netem.router.traceroute("node1", "node4") == ["node1", "node4"]
+        assert netem.router.traceroute("node1", "node4") == ("node1", "node4")
 
     def test_heal_does_not_resurrect_crashed_endpoint(self):
         """A link that is down both from the partition and because its

@@ -23,24 +23,24 @@ def diamond() -> MeshTopology:
 class TestTraceroute:
     def test_direct_route(self):
         router = Router(line_topology([10.0]))
-        assert router.traceroute("node1", "node2") == ["node1", "node2"]
+        assert router.traceroute("node1", "node2") == ("node1", "node2")
 
     def test_multi_hop_route(self):
         router = Router(line_topology([10.0, 10.0]))
-        assert router.traceroute("node1", "node3") == [
+        assert router.traceroute("node1", "node3") == (
             "node1",
             "node2",
             "node3",
-        ]
+        )
 
     def test_same_node(self):
         router = Router(line_topology([10.0]))
-        assert router.traceroute("node1", "node1") == ["node1"]
+        assert router.traceroute("node1", "node1") == ("node1",)
 
     def test_lexicographic_tie_break(self):
         router = Router(diamond())
         # Both a-b-d and a-c-d are two hops; 'b' wins deterministically.
-        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        assert router.traceroute("a", "d") == ("a", "b", "d")
 
     def test_unknown_node_raises(self):
         router = Router(line_topology([10.0]))
@@ -57,18 +57,18 @@ class TestTraceroute:
     def test_cache_invalidates_on_topology_change(self):
         topo = diamond()
         router = Router(topo)
-        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        assert router.traceroute("a", "d") == ("a", "b", "d")
         # Adding a link bumps the topology version; the router notices
         # and reconverges (as a real mesh protocol would) on next query.
         topo.add_link("a", "d", capacity_mbps=1.0)
-        assert router.traceroute("a", "d") == ["a", "d"]
+        assert router.traceroute("a", "d") == ("a", "d")
 
     def test_explicit_invalidate_still_works(self):
         topo = diamond()
         router = Router(topo)
-        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        assert router.traceroute("a", "d") == ("a", "b", "d")
         router.invalidate()
-        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        assert router.traceroute("a", "d") == ("a", "b", "d")
 
 
 class TestPathQueries:
@@ -115,3 +115,43 @@ class TestPathQueries:
         for src in ("node2", "node3", "node4"):
             path = router.traceroute(src, "node1")
             assert "node0" not in path
+
+
+class TestPathCaching:
+    def test_traceroute_returns_shared_immutable_tuple(self):
+        router = Router(line_topology([10.0, 10.0]))
+        first = router.traceroute("node1", "node3")
+        second = router.traceroute("node1", "node3")
+        assert isinstance(first, tuple)
+        assert first is second  # cached object, no per-call copy
+
+    def test_self_route_is_cached_tuple(self):
+        router = Router(line_topology([10.0]))
+        assert router.traceroute("node1", "node1") is router.traceroute(
+            "node1", "node1"
+        )
+
+    def test_path_link_keys_match_traceroute(self):
+        router = Router(line_topology([10.0, 10.0]))
+        links = router.path_link_keys("node1", "node3")
+        assert links == (("node1", "node2"), ("node2", "node3"))
+        assert router.path_link_keys("node1", "node3") is links
+        assert router.path_link_keys("node1", "node1") == ()
+
+    def test_caches_drop_on_topology_version_bump(self):
+        topo = diamond()
+        topo.add_node(MeshNode("e"))
+        topo.add_link("c", "e", capacity_mbps=3.0)
+        router = Router(topo)
+        assert router.traceroute("a", "e") == ("a", "c", "e")
+        assert router.path_link_keys("a", "e") == (("a", "c"), ("c", "e"))
+        topo.add_link("a", "e", capacity_mbps=3.0)
+        assert router.traceroute("a", "e") == ("a", "e")
+        assert router.path_link_keys("a", "e") == (("a", "e"),)
+
+    def test_invalidate_clears_link_cache_too(self):
+        router = Router(line_topology([10.0]))
+        router.path_link_keys("node1", "node2")
+        router.invalidate()
+        assert router._path_cache == {}
+        assert router._link_cache == {}

@@ -16,7 +16,7 @@ class TestFlowManagement:
     def test_add_and_query_flow(self):
         emu = make_emulator()
         flow = emu.add_flow("f", "node1", "node2", 4.0)
-        assert flow.path == ["node1", "node2"]
+        assert flow.path == ("node1", "node2")
         assert emu.has_flow("f")
 
     def test_duplicate_flow_raises(self):
@@ -178,3 +178,148 @@ class TestAccounting:
     def test_bad_tick_raises(self):
         with pytest.raises(SimulationError):
             make_emulator(tick_s=0.0)
+
+
+class TestAllocationCaching:
+    def _solve_counter(self, emu, monkeypatch):
+        import repro.net.netem as netem_mod
+
+        calls = {"n": 0}
+        real = netem_mod.max_min_allocation
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(netem_mod, "max_min_allocation", counting)
+        return calls
+
+    def test_fingerprint_skips_unchanged_recompute(self, monkeypatch):
+        emu = make_emulator([10.0, 10.0])
+        emu.add_flow("f", "node1", "node3", 4.0)
+        calls = self._solve_counter(emu, monkeypatch)
+        emu.recompute()
+        assert calls["n"] == 1
+        # Nothing moved: static capacities, same flows, same demands.
+        emu.recompute()
+        emu.recompute()
+        assert calls["n"] == 1
+        assert emu.flow("f").allocated_mbps == 4.0
+
+    def test_demand_change_invalidates_fingerprint(self, monkeypatch):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 4.0)
+        calls = self._solve_counter(emu, monkeypatch)
+        emu.recompute()
+        emu.set_demand("f", 6.0)
+        emu.recompute()
+        assert calls["n"] == 2
+        assert emu.flow("f").allocated_mbps == 6.0
+
+    def test_capacity_change_invalidates_fingerprint(self, monkeypatch):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 8.0)
+        calls = self._solve_counter(emu, monkeypatch)
+        emu.recompute()
+        emu.topology.link("node1", "node2").set_rate_limit(5.0)
+        emu.recompute()
+        assert calls["n"] == 2
+        assert emu.flow("f").allocated_mbps == 5.0
+
+    def test_flow_add_remove_invalidates_fingerprint(self, monkeypatch):
+        emu = make_emulator([10.0])
+        emu.add_flow("a", "node1", "node2", 4.0)
+        calls = self._solve_counter(emu, monkeypatch)
+        emu.recompute()
+        emu.add_flow("b", "node1", "node2", 4.0)
+        emu.recompute()
+        emu.remove_flow("b")
+        emu.recompute()
+        assert calls["n"] == 3
+
+    def test_tick_scans_capacities_once(self, monkeypatch):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 4.0)
+        scans = {"n": 0}
+        real = emu._capacities_now
+
+        def counting():
+            scans["n"] += 1
+            return real()
+
+        monkeypatch.setattr(emu, "_capacities_now", counting)
+        emu.tick()
+        assert scans["n"] == 1
+
+    def test_static_capacity_ticks_skip_the_solver(self, monkeypatch):
+        emu = make_emulator([10.0])
+        emu.add_flow("f", "node1", "node2", 4.0)
+        calls = self._solve_counter(emu, monkeypatch)
+        for _ in range(5):
+            emu.tick()
+        assert calls["n"] == 1  # first tick solves, the rest are cache hits
+        assert emu.flow("f").allocated_mbps == 4.0
+
+    def test_traced_capacity_ticks_resolve(self, monkeypatch):
+        emu = make_emulator([10.0])
+        emu.topology.link("node1", "node2").set_trace(
+            BandwidthTrace([0.0, 1.0, 2.0], [10.0, 6.0, 3.0])
+        )
+        emu.add_flow("f", "node1", "node2", 8.0)
+        emu.start()
+        calls = self._solve_counter(emu, monkeypatch)
+        emu.engine.run_until(2.0)  # ticks at t=1 (6 Mbps) and t=2 (3 Mbps)
+        assert calls["n"] == 2
+        assert emu.flow("f").allocated_mbps == 3.0
+
+
+class TestFlowsByLinkIndex:
+    def _index_totals(self, emu, key):
+        brute_alloc = sum(
+            f.allocated_mbps for f in emu.flows if key in f.links
+        )
+        brute_off = sum(f.demand_mbps for f in emu.flows if key in f.links)
+        return brute_alloc, brute_off
+
+    def test_link_queries_match_full_scan(self):
+        emu = NetworkEmulator(full_mesh_topology(4))
+        emu.add_flow("a", "node1", "node2", 4.0)
+        emu.add_flow("b", "node2", "node3", 2.0)
+        emu.add_flow("c", "node1", "node2", 1.0)
+        emu.add_flow("loop", "node1", "node1", 9.0)
+        emu.recompute()
+        for key in (("node1", "node2"), ("node2", "node3"), ("node3", "node4")):
+            alloc, offered = self._index_totals(emu, key)
+            assert emu.link_allocated(*key) == alloc
+            assert emu.link_offered(*key) == offered
+
+    def test_index_tracks_remove_and_reroute(self):
+        emu = NetworkEmulator(full_mesh_topology(3))
+        emu.add_flow("a", "node1", "node2", 4.0)
+        emu.add_flow("b", "node1", "node2", 2.0)
+        emu.remove_flow("a")
+        emu.recompute()
+        assert emu.link_offered("node1", "node2") == 2.0
+        emu.reroute_flow("b", "node1", "node3")
+        emu.recompute()
+        assert emu.link_offered("node1", "node2") == 0.0
+        assert emu.link_offered("node1", "node3") == 2.0
+
+    def test_index_follows_topology_reconvergence(self):
+        emu = NetworkEmulator(full_mesh_topology(3))
+        emu.add_flow("f", "node1", "node2", 2.0)
+        emu.topology.set_link_up("node1", "node2", False)
+        emu.on_topology_change()
+        emu.recompute()
+        assert emu.flow("f").path == ("node1", "node3", "node2")
+        assert emu.link_offered("node1", "node3") == 2.0
+        assert emu.link_offered("node3", "node2") == 2.0
+        assert emu.link_offered("node1", "node2") == 0.0
+
+    def test_torn_down_flow_leaves_no_index_entries(self):
+        emu = NetworkEmulator(line_topology([10.0, 10.0]))
+        emu.add_flow("f", "node1", "node3", 2.0)
+        emu.topology.set_node_up("node2", False)
+        result = emu.on_topology_change()
+        assert result["removed"] == ["f"]
+        assert emu._flows_by_link == {}

@@ -262,3 +262,89 @@ class TestProfiling:
         from repro.sim.engine import CallbackSiteStats
 
         assert CallbackSiteStats("x").mean_us == 0.0
+
+
+class TestPendingEventAccounting:
+    def test_pending_counts_live_events(self):
+        engine = Engine()
+        events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(6)]
+        assert engine.pending_events == 6
+        events[0].cancel()
+        events[1].cancel()
+        assert engine.pending_events == 4
+
+    def test_pending_matches_brute_force_under_churn(self):
+        engine = Engine()
+        events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(50)]
+        for event in events[::3]:
+            event.cancel()
+        live = sum(1 for e in engine._queue if not e.cancelled)
+        assert engine.pending_events == live
+
+    def test_cancel_is_idempotent_for_the_counter(self):
+        engine = Engine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert engine.pending_events == 1
+
+    def test_cancel_after_execution_does_not_skew_count(self):
+        engine = Engine()
+        event = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(5.0, lambda: None)
+        engine.run_until(2.0)
+        event.cancel()  # already ran; must be a no-op
+        assert engine.pending_events == 1
+        engine.run_until(10.0)
+        assert engine.pending_events == 0
+
+    def test_compaction_evicts_cancelled_majority(self):
+        engine = Engine()
+        events = [engine.schedule_at(float(i + 1), lambda: None) for i in range(100)]
+        for event in events[:60]:
+            event.cancel()
+        # Once tombstones exceeded half the queue the heap compacted, so
+        # dead entries no longer dominate the live ones.
+        assert len(engine._queue) < 60
+        assert engine.pending_events == 40
+        live = sum(1 for e in engine._queue if not e.cancelled)
+        assert live == 40
+
+    def test_compacted_engine_still_fires_in_order(self):
+        engine = Engine()
+        fired = []
+        keep = []
+        for i in range(20):
+            event = engine.schedule_at(
+                float(i + 1), lambda t=i + 1: fired.append(t)
+            )
+            if i % 2:
+                event.cancel()
+            else:
+                keep.append(i + 1)
+        engine.run_until(30.0)
+        assert fired == keep
+        assert engine.pending_events == 0
+
+    def test_cancelled_event_popped_before_compaction_updates_counter(self):
+        engine = Engine()
+        a = engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        engine.schedule_at(3.0, lambda: None)
+        a.cancel()  # 1 of 3 cancelled: below the compaction threshold
+        assert engine.pending_events == 2
+        engine.run_until(1.5)  # pops the tombstone
+        assert engine.pending_events == 2
+        engine.run_until(10.0)
+        assert engine.pending_events == 0
+
+    def test_periodic_stop_storm_compacts(self):
+        """Tearing down many periodic tasks leaves no tombstone debt."""
+        engine = Engine()
+        tasks = [engine.every(1.0, lambda: None) for _ in range(40)]
+        for task in tasks:
+            task.stop()
+        assert engine.pending_events == 0
+        assert len(engine._queue) == 0

@@ -75,11 +75,11 @@ def widest_test_topology() -> MeshTopology:
 class TestWidestPathRouting:
     def test_min_hop_takes_the_thin_shortcut(self):
         router = Router(widest_test_topology(), strategy="min_hop")
-        assert router.traceroute("a", "d") == ["a", "b", "d"]
+        assert router.traceroute("a", "d") == ("a", "b", "d")
 
     def test_widest_takes_the_fat_detour(self):
         router = Router(widest_test_topology(), strategy="widest")
-        assert router.traceroute("a", "d") == ["a", "c", "e", "d"]
+        assert router.traceroute("a", "d") == ("a", "c", "e", "d")
         assert router.bottleneck_bandwidth("a", "d", 0.0) == 50.0
 
     def test_widest_prefers_fewer_hops_at_equal_width(self):
@@ -90,14 +90,14 @@ class TestWidestPathRouting:
         topo.add_link("b", "c", capacity_mbps=10.0)
         topo.add_link("a", "c", capacity_mbps=10.0)
         router = Router(topo, strategy="widest")
-        assert router.traceroute("a", "c") == ["a", "c"]
+        assert router.traceroute("a", "c") == ("a", "c")
 
     def test_widest_uses_base_capacity_not_live(self):
         """Route choice must not flap with transient shaping."""
         topo = widest_test_topology()
         topo.link("a", "c").set_rate_limit(0.1)  # transient squeeze
         router = Router(topo, strategy="widest")
-        assert router.traceroute("a", "d") == ["a", "c", "e", "d"]
+        assert router.traceroute("a", "d") == ("a", "c", "e", "d")
 
     def test_widest_partition_raises(self):
         topo = widest_test_topology()
@@ -116,6 +116,6 @@ class TestWidestPathRouting:
         topo = widest_test_topology()
         emu = NetworkEmulator(topo, router=Router(topo, strategy="widest"))
         flow = emu.add_flow("f", "a", "d", 20.0)
-        assert flow.path == ["a", "c", "e", "d"]
+        assert flow.path == ("a", "c", "e", "d")
         emu.recompute()
         assert flow.allocated_mbps == pytest.approx(20.0)
