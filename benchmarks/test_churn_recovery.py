@@ -15,13 +15,14 @@ tables):
 """
 
 from repro.core.controlplane import check_cluster_ledger
-from repro.experiments.churn import churn_comparison, churn_recovery
+from repro.experiments.churn import (
+    churn_comparison,
+    churn_recovery,
+    churn_seed_sweep,
+)
 from repro.experiments.common import build_env
-from repro.faults import seeded_churn
-from repro.mesh.topology import citylab_subset
 from repro.obs.report import recovery_chains, render_report
 from repro.obs.trace import Tracer
-from repro.sim.rng import RngStreams
 
 import pytest
 
@@ -159,24 +160,11 @@ def test_two_tenant_ledger_clean_after_recovery():
 def test_seeded_churn_sweep_recovers_across_seeds():
     """Heavier sweep (excluded from the CI fast path): randomized crash
     plans across seeds always detect and re-place, never silently lose
-    the pod."""
-    topology = citylab_subset(with_traces=False)
-    movable = [n for n in topology.worker_names if n != "node1"]
-    for seed in range(6):
-        plan = seeded_churn(
-            topology,
-            RngStreams(seed),
-            duration_s=120.0,
-            crash_count=1,
-            candidates=movable,  # node1 hosts the pinned source
-        )
-        crash = plan.events[0]
-        result = churn_recovery(
-            seed=seed,
-            duration_s=crash.at_s + 120.0,
-            crash_node=crash.node,
-            crash_at_s=crash.at_s,
-        )
+    the pod.  Runs through the sweep runner, so locally it parallelizes
+    and memoizes like any other sweep."""
+    results = churn_seed_sweep(seeds=tuple(range(6)), settle_s=120.0)
+    assert len(results) == 6
+    for result in results:
         assert result.detection_latency_s is not None
         assert result.detection_latency_s > 0
         assert result.recovered_pods == 1

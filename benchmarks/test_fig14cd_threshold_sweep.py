@@ -45,26 +45,28 @@ def test_fig14cd_threshold_sweep(benchmark):
     assert len(cells) == 2 * 5 * 3
     assert all(np.isfinite(c.upper_quartile_latency_s) for c in cells)
 
+    def best_p99(heuristic, threshold):
+        return min(
+            c.p99_latency_s
+            for c in cells
+            if c.heuristic == heuristic and c.threshold == threshold
+        )
+
+    def total_migrations(heuristic, threshold):
+        return sum(
+            c.migrations
+            for c in cells
+            if c.heuristic == heuristic and c.threshold == threshold
+        )
+
     for heuristic in ("bfs", "longest_path"):
-        def best_p99(threshold):
-            return min(
-                c.p99_latency_s
-                for c in cells
-                if c.heuristic == heuristic and c.threshold == threshold
-            )
-
-        def total_migrations(threshold):
-            return sum(
-                c.migrations
-                for c in cells
-                if c.heuristic == heuristic and c.threshold == threshold
-            )
-
         # Waiting for 95% quota utilization sleeps through long fades:
         # its tail is at least as bad as the mid thresholds'.
-        assert best_p99(0.95) >= min(best_p99(0.50), best_p99(0.65))
+        assert best_p99(heuristic, 0.95) >= min(
+            best_p99(heuristic, 0.50), best_p99(heuristic, 0.65)
+        )
         # Migration activity responds to the knob: some threshold
         # migrates more than the most conservative one.
         assert max(
-            total_migrations(t) for t in (0.25, 0.50, 0.65)
-        ) >= total_migrations(0.95)
+            total_migrations(heuristic, t) for t in (0.25, 0.50, 0.65)
+        ) >= total_migrations(heuristic, 0.95)

@@ -4,127 +4,69 @@ and §7's 30-node-mesh sizing argument).
 The paper argues its heuristics stay tractable where ILP solvers are
 "infeasible for resource constrained wireless mesh environments" — a
 Philadelphia mesh of ~30 nodes would need 900 path-bandwidth
-constraints.  These benchmarks time the heuristics on synthetic DAGs up
-to hundreds of components and the allocator on large flow sets, and
-check the growth stays polynomial (sub-cubic empirically).
+constraints.  These benchmarks sweep the timing cells in
+:mod:`repro.experiments.scalability` through the sweep runner —
+always with ``cache=None``: timings are measurements of *this*
+machine, never replayable from a cache.
 """
 
-import time
-
-import numpy as np
 import pytest
 
-from repro.core.dag import Component, ComponentDAG
-from repro.core.ordering import (
-    breadth_first_order,
-    hybrid_order,
-    longest_path_order,
+from repro.experiments.scalability import (
+    ALLOCATION_FLOW_COUNTS,
+    ORDERING_SIZES,
+    allocation_scalability_spec,
+    ordering_scalability_spec,
 )
-from repro.net.fairness import FlowDemand, max_min_allocation
+from repro.runner import run_sweep
 
 from _reporting import fmt, run_once, save_table
 
 
-def layered_dag(n_components: int, *, fanout: int = 3) -> ComponentDAG:
-    """A layered DAG (the shape of real microservice graphs)."""
-    dag = ComponentDAG(f"scale{n_components}")
-    rng = np.random.default_rng(n_components)
-    names = [f"c{i}" for i in range(n_components)]
-    for name in names:
-        dag.add_component(Component(name))
-    for i, name in enumerate(names[1:], start=1):
-        # Every component gets 1..fanout parents among earlier ones.
-        n_parents = int(rng.integers(1, fanout + 1))
-        parents = rng.choice(i, size=min(n_parents, i), replace=False)
-        for parent in parents:
-            dag.add_dependency(
-                names[int(parent)], name, float(rng.uniform(0.5, 20.0))
-            )
-    return dag
-
-
-def _time_orderings(n: int) -> dict[str, float]:
-    dag = layered_dag(n)
-    timings = {}
-    for label, func in (
-        ("bfs", breadth_first_order),
-        ("longest_path", longest_path_order),
-        ("hybrid", hybrid_order),
-    ):
-        start = time.perf_counter()
-        order = func(dag)
-        timings[label] = time.perf_counter() - start
-        assert sorted(order) == sorted(dag.component_names)
-    return timings
-
-
 @pytest.mark.benchmark(group="scalability")
 def test_ordering_scalability(benchmark):
-    sizes = (25, 50, 100, 200, 400)
-    results = run_once(
+    outcome = run_once(
         benchmark,
-        lambda: {n: _time_orderings(n) for n in sizes},
+        lambda: run_sweep(ordering_scalability_spec(), cache=None),
     )
+    results = {cell.components: cell for cell in outcome.results}
     save_table(
         "scalability_ordering",
         ["components", "bfs_ms", "longest_path_ms", "hybrid_ms"],
         [
             [
                 n,
-                fmt(results[n]["bfs"] * 1000, 2),
-                fmt(results[n]["longest_path"] * 1000, 2),
-                fmt(results[n]["hybrid"] * 1000, 2),
+                fmt(results[n].bfs_s * 1000, 2),
+                fmt(results[n].longest_path_s * 1000, 2),
+                fmt(results[n].hybrid_s * 1000, 2),
             ]
-            for n in sizes
+            for n in ORDERING_SIZES
         ],
         note="paper complexity: BFS O(V^2 log V), longest-path O(V(V+E))",
     )
     # Polynomial growth: 16x the components costs well under the ~4096x
     # a cubic blow-up would imply (generous bound absorbing timer noise).
     for label in ("bfs", "longest_path", "hybrid"):
-        small = max(results[25][label], 1e-5)
-        large = results[400][label]
+        small = max(results[25].seconds(label), 1e-5)
+        large = results[400].seconds(label)
         assert large / small < (400 / 25) ** 3
     # Everything stays interactive at mesh scale.
-    assert results[400]["longest_path"] < 5.0
+    assert results[400].longest_path_s < 5.0
 
 
 @pytest.mark.benchmark(group="scalability")
 def test_allocation_scalability(benchmark):
     """Max-min allocation over hundreds of flows on a 30-node mesh-sized
     link set completes in milliseconds."""
-
-    def run() -> dict[int, float]:
-        rng = np.random.default_rng(7)
-        links = [(f"n{i}", f"n{(i + 1) % 30}") for i in range(30)]
-        timings = {}
-        for n_flows in (50, 200, 800):
-            flows = []
-            for i in range(n_flows):
-                start = int(rng.integers(0, 30))
-                hops = int(rng.integers(1, 4))
-                path = tuple(
-                    links[(start + h) % 30] for h in range(hops)
-                )
-                flows.append(
-                    FlowDemand(
-                        flow_id=f"f{i}",
-                        links=path,
-                        demand_mbps=float(rng.uniform(0.1, 20.0)),
-                    )
-                )
-            capacities = {link: 25.0 for link in links}
-            begin = time.perf_counter()
-            rates = max_min_allocation(flows, capacities)
-            timings[n_flows] = time.perf_counter() - begin
-            assert len(rates) == n_flows
-        return timings
-
-    timings = run_once(benchmark, run)
+    outcome = run_once(
+        benchmark,
+        lambda: run_sweep(allocation_scalability_spec(), cache=None),
+    )
+    timings = {cell.flows: cell.seconds for cell in outcome.results}
     save_table(
         "scalability_allocation",
         ["flows", "max_min_ms"],
-        [[n, fmt(t * 1000, 2)] for n, t in timings.items()],
+        [[n, fmt(timings[n] * 1000, 2)] for n in ALLOCATION_FLOW_COUNTS],
         note="30-node ring of 25 Mbps links (the Philadelphia-mesh scale "
         "the paper cites)",
     )

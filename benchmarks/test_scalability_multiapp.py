@@ -13,13 +13,13 @@ the two fleet-level guarantees:
   cluster ledger stays consistent throughout.
 """
 
-from repro.config import FleetConfig
 from repro.core.controlplane import check_cluster_ledger
 from repro.core.registry import get_scheduler
 from repro.experiments.common import SCHEDULER_NAMES, build_env
 from repro.experiments.multi_tenant import (
-    multi_tenant_contention,
+    contention_sweep,
     multi_tenant_mesh,
+    multi_tenant_scaling_sweep,
 )
 
 import pytest
@@ -32,18 +32,14 @@ TENANT_COUNTS = (1, 2, 4, 8)
 @pytest.mark.benchmark(group="scalability")
 def test_probe_rate_flat_across_tenants(benchmark):
     def run():
-        shared = {
-            n: multi_tenant_mesh(tenants=n, duration_s=240.0)
-            for n in TENANT_COUNTS
-        }
-        private = {
-            n: multi_tenant_mesh(
-                tenants=n,
-                duration_s=240.0,
-                fleet=FleetConfig(probe_sharing=False),
-            )
-            for n in (1, 4)
-        }
+        shared_cells = multi_tenant_scaling_sweep(
+            tenant_counts=TENANT_COUNTS, duration_s=240.0
+        )
+        private_cells = multi_tenant_scaling_sweep(
+            tenant_counts=(1, 4), duration_s=240.0, probe_sharing=False
+        )
+        shared = {r.tenants: r for r in shared_cells}
+        private = {r.tenants: r for r in private_cells}
         return shared, private
 
     shared, private = run_once(benchmark, run)
@@ -80,10 +76,10 @@ def test_probe_rate_flat_across_tenants(benchmark):
 @pytest.mark.benchmark(group="scalability")
 def test_arbitration_under_contention(benchmark):
     def run():
-        return {
-            n: multi_tenant_contention(tenants=n, duration_s=180.0)
-            for n in TENANT_COUNTS
-        }
+        cells = contention_sweep(
+            tenant_counts=TENANT_COUNTS, duration_s=180.0
+        )
+        return {r.tenants: r for r in cells}
 
     results = run_once(benchmark, run)
     save_table(

@@ -5,6 +5,8 @@ Usage::
     bass-repro list
     bass-repro run fig10 [--quick]
     bass-repro run fig13 --quick --trace run.jsonl
+    bass-repro run fig14cd --jobs 4 --cache-dir .bass-cache
+    bass-repro run fig14cd --jobs 2 --no-cache --out sweep.json
     bass-repro report run.jsonl
     bass-repro run table2
 
@@ -12,13 +14,36 @@ Usage::
 seconds (shape-accurate, noisier numbers).  ``--trace`` arms the flight
 recorder for the run and writes the decision-event log as JSONL;
 ``report`` renders a saved trace as a human-readable causal timeline.
+
+Sweep-shaped experiments (marked ``[sweep]`` in ``list``) additionally
+accept ``--jobs N`` (fan cells over N worker processes), ``--cache-dir
+PATH`` (memoize completed cells content-addressed on disk; see
+DESIGN.md "Parallel sweeps"), ``--no-cache``, and ``--out PATH``
+(write the merged results as canonical JSON — byte-identical across
+``--jobs`` settings).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SweepSettings:
+    """How a sweep-shaped experiment should execute its cells."""
+
+    jobs: int = 1
+    cache: object = None  # Optional[repro.runner.ResultCache]
+
+
+def _sweep_capable(run):
+    """Mark a runner as accepting ``(quick, sweep)`` and returning its
+    :class:`~repro.runner.SweepOutcome` list for ``--out`` / stats."""
+    run.sweep_capable = True
+    return run
 
 
 def _table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -232,26 +257,30 @@ def _run_fig14b(quick: bool) -> None:
     )
 
 
-def _run_fig14cd(quick: bool) -> None:
-    from .experiments.thresholds import fig14cd_threshold_sweep
+@_sweep_capable
+def _run_fig14cd(quick: bool, sweep: SweepSettings):
+    from .experiments.thresholds import fig14cd_sweep_spec
+    from .runner import run_sweep
 
-    cells = fig14cd_threshold_sweep(
+    spec = fig14cd_sweep_spec(
         heuristics=("longest_path",) if quick else ("bfs", "longest_path"),
         thresholds=(0.25, 0.65, 0.95) if quick else
         (0.25, 0.50, 0.65, 0.75, 0.95),
         headrooms=(0.20,) if quick else (0.10, 0.20, 0.30),
         duration_s=200.0 if quick else 600.0,
     )
+    outcome = run_sweep(spec, jobs=sweep.jobs, cache=sweep.cache)
     print(
         _table(
             ["heuristic", "threshold", "headroom", "uq_s", "migrations"],
             [
                 [c.heuristic, c.threshold, c.headroom,
                  f"{c.upper_quartile_latency_s:.2f}", c.migrations]
-                for c in cells
+                for c in outcome.results
             ],
         )
     )
+    return [outcome]
 
 
 def _run_fig15b(quick: bool) -> None:
@@ -277,59 +306,75 @@ def _run_fig15b(quick: bool) -> None:
     )
 
 
-def _run_fig16(quick: bool) -> None:
-    from .experiments.thresholds import fig16_exponential_thresholds
+@_sweep_capable
+def _run_fig16(quick: bool, sweep: SweepSettings):
+    from .experiments.thresholds import fig16_sweep_spec
+    from .runner import run_sweep
 
-    cells = fig16_exponential_thresholds(
+    spec = fig16_sweep_spec(
         thresholds=(0.25, 0.75) if quick else (0.25, 0.50, 0.65, 0.75),
         duration_s=200.0 if quick else 600.0,
     )
+    outcome = run_sweep(spec, jobs=sweep.jobs, cache=sweep.cache)
     print(
         _table(
             ["threshold", "mean_s", "migrations"],
             [
                 [c.threshold, f"{c.mean_latency_s:.2f}", c.migrations]
-                for c in cells
+                for c in outcome.results
             ],
         )
     )
+    return [outcome]
 
 
-def _run_multitenant(quick: bool) -> None:
+@_sweep_capable
+def _run_multitenant(quick: bool, sweep: SweepSettings):
     from .experiments.multi_tenant import (
-        multi_tenant_contention,
-        multi_tenant_mesh,
+        contention_sweep_spec,
+        multi_tenant_scaling_spec,
     )
+    from .runner import run_sweep
 
-    counts = (1, 4) if quick else (1, 2, 4, 8)
-    duration = 120.0 if quick else 240.0
-    rows = []
-    for tenants in counts:
-        result = multi_tenant_mesh(tenants=tenants, duration_s=duration)
-        rows.append(
-            [
-                tenants,
-                result.full_probes,
-                result.headroom_probes,
-                f"{result.probe_events_per_hour:.1f}",
-                result.total_migrations,
-            ]
-        )
+    scaling = run_sweep(
+        multi_tenant_scaling_spec(
+            tenant_counts=(1, 4) if quick else (1, 2, 4, 8),
+            duration_s=120.0 if quick else 240.0,
+        ),
+        jobs=sweep.jobs,
+        cache=sweep.cache,
+    )
     print(
         _table(
             ["tenants", "full_probes", "headroom_probes", "probes_per_hour",
              "migrations"],
-            rows,
+            [
+                [
+                    result.tenants,
+                    result.full_probes,
+                    result.headroom_probes,
+                    f"{result.probe_events_per_hour:.1f}",
+                    result.total_migrations,
+                ]
+                for result in scaling.results
+            ],
         )
     )
-    contention = multi_tenant_contention(
-        tenants=2 if quick else 4, duration_s=140.0 if quick else 180.0
+    contention_outcome = run_sweep(
+        contention_sweep_spec(
+            tenant_counts=(2,) if quick else (4,),
+            duration_s=140.0 if quick else 180.0,
+        ),
+        jobs=sweep.jobs,
+        cache=sweep.cache,
     )
+    contention = contention_outcome.results[0]
     print(
         f"\ncontention: {contention.conflict_count} arbiter conflicts, "
         f"{contention.total_migrations} migrations across "
         f"{contention.epoch_count} epochs"
     )
+    return [scaling, contention_outcome]
 
 
 def _run_churn(quick: bool) -> None:
@@ -367,6 +412,82 @@ def _run_churn(quick: bool) -> None:
         f"re-placed, {shared.conflict_count} arbiter conflicts, "
         f"detection {shared.detection_latency_s:.0f}s"
     )
+
+
+@_sweep_capable
+def _run_ablations(quick: bool, sweep: SweepSettings):
+    from .experiments.ablations import ablation_grid_spec
+    from .runner import run_sweep
+
+    spec = ablation_grid_spec(quick=quick)
+    outcome = run_sweep(spec, jobs=sweep.jobs, cache=sweep.cache)
+    rows = []
+    for cell, result in zip(spec.cells, outcome.results):
+        if cell.label == "headroom_probing":
+            summary = (
+                f"overhead {result.headroom_overhead_fraction:.4%} headroom "
+                f"vs {result.flooding_overhead_fraction:.2%} flooding"
+            )
+        elif cell.label == "cooldown":
+            summary = ", ".join(
+                f"{r.migrations} migrations @ cooldown {r.cooldown_s:.0f}s"
+                for r in result
+            )
+        elif cell.label == "stability_guards":
+            summary = (
+                f"{result.guarded_migrations} migrations guarded vs "
+                f"{result.unguarded_migrations} unguarded"
+            )
+        elif cell.label == "hybrid_heuristic":
+            summary = ", ".join(
+                f"{r.shape}/{r.heuristic}: {r.colocated_fraction:.0%}"
+                for r in result
+            )
+        elif cell.label == "online_profiling":
+            summary = (
+                f"annotation error {result.initial_error:.2f} -> "
+                f"{result.profiled_error:.2f} "
+                f"({result.edges_updated} edges updated)"
+            )
+        else:  # routing_strategy
+            summary = f"{len(result)} node pairs compared"
+        rows.append([cell.label, summary])
+    print(_table(["ablation", "summary"], rows))
+    return [outcome]
+
+
+@_sweep_capable
+def _run_churnsweep(quick: bool, sweep: SweepSettings):
+    from .experiments.churn import churn_seed_sweep_spec
+    from .runner import run_sweep
+
+    spec = churn_seed_sweep_spec(
+        seeds=tuple(range(3)) if quick else tuple(range(6)),
+        settle_s=60.0 if quick else 120.0,
+    )
+    outcome = run_sweep(spec, jobs=sweep.jobs, cache=sweep.cache)
+    print(
+        _table(
+            ["seed", "crash_node", "crash_at_s", "detect_s", "recover_s",
+             "replaced"],
+            [
+                [
+                    cell.seed,
+                    result.crash_node,
+                    f"{result.crash_at_s:.0f}",
+                    f"{result.detection_latency_s:.0f}"
+                    if result.detection_latency_s is not None
+                    else "-",
+                    f"{result.time_to_recover_s:.0f}"
+                    if result.time_to_recover_s is not None
+                    else "never",
+                    result.recovered_pods,
+                ]
+                for cell, result in zip(spec.cells, outcome.results)
+            ],
+        )
+    )
+    return [outcome]
 
 
 def _run_table2(quick: bool) -> None:
@@ -409,7 +530,7 @@ def _run_table4(quick: bool) -> None:
     )
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[bool], None]]] = {
+EXPERIMENTS: dict[str, tuple[str, Callable[..., object]]] = {
     "fig2": ("bandwidth variation on two CityLab links", _run_fig2),
     "fig4": ("Pion bitrate/loss vs participants on a bottleneck", _run_fig4),
     "fig5": ("social-network latency through a 25 Mbps throttle", _run_fig5),
@@ -427,6 +548,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], None]]] = {
     "multitenant": ("probe sharing and migration arbitration at scale",
                     _run_multitenant),
     "churn": ("node crash: detection latency and recovery vs k3s", _run_churn),
+    "churnsweep": ("randomized crash plans across seeds", _run_churnsweep),
+    "ablations": ("the design-choice ablation battery", _run_ablations),
     "table2": ("camera median latency on the emulated mesh", _run_table2),
     "table3": ("per-component scheduling latency", _run_table3),
     "table4": ("DAG processing time per application", _run_table4),
@@ -452,6 +575,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="PATH",
         help="record the run's decision events to a JSONL trace file",
     )
+    runner.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep-shaped experiments "
+        "(results stay byte-identical to --jobs 1)",
+    )
+    runner.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="memoize completed sweep cells in this content-addressed "
+        "cache directory",
+    )
+    runner.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable cell memoization even when --cache-dir is set",
+    )
+    runner.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the sweep's merged results as canonical JSON "
+        "(byte-identical across --jobs settings)",
+    )
     reporter = sub.add_parser(
         "report", help="render a saved trace as a causal run report"
     )
@@ -460,7 +608,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
-            print(f"{name:10s} {EXPERIMENTS[name][0]}")
+            sweepable = getattr(EXPERIMENTS[name][1], "sweep_capable", False)
+            tag = " [sweep]" if sweepable else ""
+            print(f"{name:12s} {EXPERIMENTS[name][0]}{tag}")
         return 0
 
     if args.command == "report":
@@ -470,6 +620,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     description, run = EXPERIMENTS[args.experiment]
+    sweep_capable = getattr(run, "sweep_capable", False)
+    sweep_flags = (
+        args.jobs != 1
+        or args.cache_dir is not None
+        or args.no_cache
+        or args.out is not None
+    )
+    if sweep_flags and not sweep_capable:
+        parser.error(
+            f"--jobs/--cache-dir/--no-cache/--out apply only to "
+            f"sweep-shaped experiments; {args.experiment!r} is not one "
+            f"(see 'bass-repro list')"
+        )
+    if sweep_capable:
+        from .runner import open_cache
+
+        cache = (
+            None if args.no_cache else open_cache(args.cache_dir)
+        )
+        invoke: Callable[[], object] = lambda: run(
+            args.quick, SweepSettings(jobs=args.jobs, cache=cache)
+        )
+    else:
+        invoke = lambda: run(args.quick)
+
     print(f"== {args.experiment}: {description} ==\n")
     if args.trace:
         from .obs.trace import Tracer, set_default_tracer
@@ -477,7 +652,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         tracer = Tracer.with_instruments()
         previous = set_default_tracer(tracer)
         try:
-            run(args.quick)
+            outcomes = invoke()
         finally:
             set_default_tracer(previous)
         tracer.to_jsonl(args.trace)
@@ -486,7 +661,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"(render with: bass-repro report {args.trace})"
         )
     else:
-        run(args.quick)
+        outcomes = invoke()
+
+    if sweep_capable and outcomes:
+        for outcome in outcomes:
+            stats = outcome.stats
+            # Timing telemetry goes to stderr: stdout carries only the
+            # deterministic experiment data, so two runs of the same
+            # command always produce diff-identical stdout.
+            print(
+                f"\nsweep {outcome.spec.name}: {stats.cells} cells in "
+                f"{stats.wall_s:.1f}s ({stats.cells_per_second:.2f} "
+                f"cells/s, {stats.executed} executed, {stats.cached} "
+                f"cached, cache hit rate {stats.cache_hit_rate:.0%})",
+                file=sys.stderr,
+            )
+        if args.out:
+            from .runner import canonical_json
+
+            payload = canonical_json(
+                {o.spec.name: o.results for o in outcomes}
+            )
+            with open(args.out, "w") as handle:
+                handle.write(payload + "\n")
+            print(f"results: {args.out}")
     return 0
 
 

@@ -23,6 +23,7 @@ quantify each one by switching it off:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -35,6 +36,8 @@ from ..core.placement import PlacementEngine
 from ..core.profiling import OnlineProfiler
 from ..mesh.node import MeshNode
 from ..mesh.topology import MeshTopology
+from ..obs.trace import TracerBase
+from ..runner import CellSpec, ResultCache, SweepSpec, run_sweep
 from ..sim.rng import RngStreams
 from .common import build_env, deploy_app, run_timeline
 from .migration import _PairApp
@@ -144,8 +147,11 @@ def ablate_cooldown(
             env,
             240.0,
             events=[
-                (50.0, lambda: link.set_rate_limit(3.0)),
-                (50.0 + dip_duration_s, lambda: link.set_rate_limit(None)),
+                (50.0, lambda link=link: link.set_rate_limit(3.0)),
+                (
+                    50.0 + dip_duration_s,
+                    lambda link=link: link.set_rate_limit(None),
+                ),
             ],
         )
         results.append(
@@ -353,6 +359,91 @@ class RoutingAblationCell:
     dst: str
     min_hop_mbps: float
     widest_mbps: float
+
+
+def _ablation_grid_cells(*, quick: bool = False) -> tuple[CellSpec, ...]:
+    """Every ablation as a sweep cell, in canonical grid order.
+
+    Each cell's kwargs materialize that ablation's defaults explicitly
+    so the cache key captures the full configuration (a default change
+    in the ablation's signature alone would otherwise be invisible to
+    the key; the code fingerprint still covers the body).
+    """
+    prefix = "repro.experiments.ablations:"
+    return (
+        CellSpec(
+            fn=prefix + "ablate_headroom_probing",
+            kwargs={"duration_s": 150.0 if quick else 600.0, "seed": 81},
+            label="headroom_probing",
+        ),
+        CellSpec(
+            fn=prefix + "ablate_cooldown",
+            kwargs={
+                "cooldowns": (0.0, 45.0),
+                "dip_duration_s": 40.0,
+                "seed": 82,
+            },
+            label="cooldown",
+        ),
+        CellSpec(
+            fn=prefix + "ablate_stability_guards",
+            kwargs={"duration_s": 150.0 if quick else 420.0, "seed": 83},
+            label="stability_guards",
+        ),
+        CellSpec(
+            fn=prefix + "ablate_hybrid_heuristic",
+            kwargs={"node_cores": 6.0, "n_nodes": 3},
+            label="hybrid_heuristic",
+        ),
+        CellSpec(
+            fn=prefix + "ablate_online_profiling",
+            kwargs={"duration_s": 80.0 if quick else 200.0, "seed": 85},
+            label="online_profiling",
+        ),
+        CellSpec(
+            fn=prefix + "ablate_routing_strategy",
+            kwargs={},
+            label="routing_strategy",
+        ),
+    )
+
+
+def ablation_grid_spec(
+    *, quick: bool = False, include: Optional[tuple[str, ...]] = None
+) -> SweepSpec:
+    """The full ablation battery as one sweep spec.
+
+    Args:
+        quick: shorten the long-running ablations (CLI smoke mode).
+        include: restrict to these cell labels, keeping grid order.
+    """
+    cells = _ablation_grid_cells(quick=quick)
+    if include is not None:
+        unknown = set(include) - {cell.label for cell in cells}
+        if unknown:
+            raise ValueError(f"unknown ablation(s): {sorted(unknown)}")
+        cells = tuple(cell for cell in cells if cell.label in include)
+    return SweepSpec(name="ablations", cells=cells)
+
+
+def ablation_grid(
+    *,
+    quick: bool = False,
+    include: Optional[tuple[str, ...]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
+) -> dict[str, object]:
+    """Run the ablation battery through the sweep runner.
+
+    Returns ``{cell label: that ablation's result}`` in grid order.
+    """
+    spec = ablation_grid_spec(quick=quick, include=include)
+    outcome = run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer)
+    return {
+        cell.label: result
+        for cell, result in zip(spec.cells, outcome.results)
+    }
 
 
 def ablate_routing_strategy() -> list[RoutingAblationCell]:

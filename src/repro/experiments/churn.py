@@ -37,9 +37,13 @@ from ..faults import (
     HeartbeatConfig,
     NodeCrash,
     RecoveryAction,
+    seeded_churn,
 )
+from ..mesh.topology import citylab_subset
 from ..metrics.summary import RecoveryStats, recovery_timeline_stats
 from ..obs.trace import TracerBase
+from ..runner import CellSpec, ResultCache, SweepSpec, run_sweep
+from ..sim.rng import RngStreams
 from .common import AppHandle, ExperimentEnv, build_env, deploy_app, run_timeline
 from .multi_tenant import SINK, StreamPairApp
 
@@ -223,6 +227,69 @@ def churn_recovery(
             times, goodput, fault_at_s=crash_at_s
         ),
     )
+
+
+def _churn_seed_cell(*, seed: int, settle_s: float = 120.0) -> ChurnResult:
+    """One randomized-churn cell: draw a crash plan from ``seed``, run
+    recovery, and give the mesh ``settle_s`` after the crash.
+
+    The crash plan is drawn from the same seeded RNG streams the run
+    itself uses, so the cell is fully determined by its ``seed`` — the
+    property the seeded sweep (and its cache entries) relies on.
+    """
+    topology = citylab_subset(with_traces=False)
+    movable = [n for n in topology.worker_names if n != "node1"]
+    plan = seeded_churn(
+        topology,
+        RngStreams(seed),
+        duration_s=settle_s,
+        crash_count=1,
+        candidates=movable,  # node1 hosts the pinned source
+    )
+    crash = plan.events[0]
+    return churn_recovery(
+        seed=seed,
+        duration_s=crash.at_s + settle_s,
+        crash_node=crash.node,
+        crash_at_s=crash.at_s,
+    )
+
+
+#: Seeds the paper-scale churn sweep replays (one crash plan per seed).
+DEFAULT_CHURN_SEEDS = (0, 1, 2, 3, 4, 5)
+
+
+def churn_seed_sweep_spec(
+    *, seeds: tuple[int, ...] = DEFAULT_CHURN_SEEDS, settle_s: float = 120.0
+) -> SweepSpec:
+    """The randomized-churn seed sweep as a sweep spec."""
+    cells = tuple(
+        CellSpec(
+            fn="repro.experiments.churn:_churn_seed_cell",
+            kwargs={"settle_s": settle_s},
+            label=f"seed{seed}",
+            seed=seed,
+        )
+        for seed in seeds
+    )
+    return SweepSpec(name="churn-seeds", cells=cells)
+
+
+def churn_seed_sweep(
+    *,
+    seeds: tuple[int, ...] = DEFAULT_CHURN_SEEDS,
+    settle_s: float = 120.0,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
+) -> list[ChurnResult]:
+    """Randomized crash plans across seeds, one churn run per seed.
+
+    Every cell must detect the crash and re-place the pod; the seeded
+    churn benchmark asserts exactly that over this sweep's results.
+    """
+    spec = churn_seed_sweep_spec(seeds=seeds, settle_s=settle_s)
+    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results
 
 
 def churn_comparison(

@@ -30,6 +30,8 @@ from ..apps.base import Application
 from ..config import BassConfig, FleetConfig
 from ..core.controller import ControllerIteration
 from ..core.dag import Component, ComponentDAG
+from ..obs.trace import TracerBase
+from ..runner import CellSpec, ResultCache, SweepSpec, run_sweep
 from .common import (
     AppHandle,
     ExperimentEnv,
@@ -228,3 +230,111 @@ def multi_tenant_contention(
         fleet=fleet,
         config=config,
     )
+
+
+# -- sweeps -------------------------------------------------------------------
+
+
+def _mesh_cell(
+    *,
+    tenants: int,
+    duration_s: float,
+    seed: int = 11,
+    probe_sharing: bool = True,
+) -> MultiTenantResult:
+    """One tenant-scaling cell (uncongested mesh, probe accounting)."""
+    fleet = None if probe_sharing else FleetConfig(probe_sharing=False)
+    return multi_tenant_mesh(
+        tenants=tenants, duration_s=duration_s, seed=seed, fleet=fleet
+    )
+
+
+def _contention_cell(
+    *, tenants: int, duration_s: float, seed: int = 11
+) -> MultiTenantResult:
+    """One migration-race cell (shared throttle, arbiter engaged)."""
+    return multi_tenant_contention(
+        tenants=tenants, duration_s=duration_s, seed=seed
+    )
+
+
+def multi_tenant_scaling_spec(
+    *,
+    tenant_counts: tuple[int, ...] = (1, 2, 4, 8),
+    duration_s: float = 240.0,
+    seed: int = 11,
+    probe_sharing: bool = True,
+) -> SweepSpec:
+    """Probe-traffic scaling across tenant counts as a sweep spec."""
+    cells = tuple(
+        CellSpec(
+            fn="repro.experiments.multi_tenant:_mesh_cell",
+            kwargs={
+                "tenants": tenants,
+                "duration_s": duration_s,
+                "seed": seed,
+                "probe_sharing": probe_sharing,
+            },
+            label=f"tenants{tenants}",
+        )
+        for tenants in tenant_counts
+    )
+    return SweepSpec(name="multitenant-scaling", cells=cells)
+
+
+def multi_tenant_scaling_sweep(
+    *,
+    tenant_counts: tuple[int, ...] = (1, 2, 4, 8),
+    duration_s: float = 240.0,
+    seed: int = 11,
+    probe_sharing: bool = True,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
+) -> list[MultiTenantResult]:
+    """Run the tenant-scaling sweep through the sweep runner."""
+    spec = multi_tenant_scaling_spec(
+        tenant_counts=tenant_counts,
+        duration_s=duration_s,
+        seed=seed,
+        probe_sharing=probe_sharing,
+    )
+    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results
+
+
+def contention_sweep_spec(
+    *,
+    tenant_counts: tuple[int, ...] = (2, 4, 8),
+    duration_s: float = 180.0,
+    seed: int = 11,
+) -> SweepSpec:
+    """Migration-race severity across tenant counts as a sweep spec."""
+    cells = tuple(
+        CellSpec(
+            fn="repro.experiments.multi_tenant:_contention_cell",
+            kwargs={
+                "tenants": tenants,
+                "duration_s": duration_s,
+                "seed": seed,
+            },
+            label=f"tenants{tenants}",
+        )
+        for tenants in tenant_counts
+    )
+    return SweepSpec(name="multitenant-contention", cells=cells)
+
+
+def contention_sweep(
+    *,
+    tenant_counts: tuple[int, ...] = (2, 4, 8),
+    duration_s: float = 180.0,
+    seed: int = 11,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
+) -> list[MultiTenantResult]:
+    """Run the contention sweep through the sweep runner."""
+    spec = contention_sweep_spec(
+        tenant_counts=tenant_counts, duration_s=duration_s, seed=seed
+    )
+    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results

@@ -14,12 +14,16 @@ These sweeps reproduce the paper's findings:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
 from ..apps.social import SocialNetworkApp
 from ..apps.workload import ExponentialArrivals, FixedRate
 from ..config import BassConfig
 from ..mesh.topology import citylab_subset
+from ..obs.trace import TracerBase
+from ..runner import CellSpec, ResultCache, SweepSpec, run_sweep
 from ..sim.rng import RngStreams
 from .common import build_env, deploy_app, run_timeline
 
@@ -88,6 +92,80 @@ def _run_threshold_config(
     )
 
 
+def _fig14cd_cell(
+    *,
+    heuristic: str,
+    threshold: float,
+    headroom: float,
+    rps: float,
+    duration_s: float,
+    seed: int,
+) -> ThresholdCell:
+    """One fig 14c/d grid cell (module-level: sweep workers import it)."""
+    return _run_threshold_config(
+        heuristic=heuristic,
+        threshold=threshold,
+        headroom=headroom,
+        workload=FixedRate(rps),
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def _fig16_cell(
+    *,
+    threshold: float,
+    mean_rps: float,
+    headroom: float,
+    duration_s: float,
+    seed: int,
+) -> ThresholdCell:
+    """One fig 16 cell; the workload rng derives from (seed, threshold)
+    exactly as the original serial loop did."""
+    workload = ExponentialArrivals(
+        mean_rps, rng=np.random.default_rng(seed + int(threshold * 100))
+    )
+    return _run_threshold_config(
+        heuristic="longest_path",
+        threshold=threshold,
+        headroom=headroom,
+        workload=workload,
+        duration_s=duration_s,
+        seed=seed,
+    )
+
+
+def fig14cd_sweep_spec(
+    *,
+    heuristics: tuple[str, ...] = ("bfs", "longest_path"),
+    thresholds: tuple[float, ...] = (0.25, 0.50, 0.65, 0.75, 0.95),
+    headrooms: tuple[float, ...] = (0.10, 0.20, 0.30),
+    rps: float = 50.0,
+    duration_s: float = 600.0,
+    seed: int = 144,
+) -> SweepSpec:
+    """The fig 14c/d grid as a sweep spec, cells in the canonical
+    (heuristic, threshold, headroom) nested-loop order."""
+    cells = tuple(
+        CellSpec(
+            fn="repro.experiments.thresholds:_fig14cd_cell",
+            kwargs={
+                "heuristic": heuristic,
+                "threshold": threshold,
+                "headroom": headroom,
+                "rps": rps,
+                "duration_s": duration_s,
+            },
+            label=f"{heuristic}/thr{threshold:g}/hr{headroom:g}",
+            seed=seed,
+        )
+        for heuristic in heuristics
+        for threshold in thresholds
+        for headroom in headrooms
+    )
+    return SweepSpec(name="fig14cd", cells=cells)
+
+
 def fig14cd_threshold_sweep(
     *,
     heuristics: tuple[str, ...] = ("bfs", "longest_path"),
@@ -96,24 +174,52 @@ def fig14cd_threshold_sweep(
     rps: float = 50.0,
     duration_s: float = 600.0,
     seed: int = 144,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> list[ThresholdCell]:
     """Figs 14c/d: latency across the (threshold × headroom) grid,
-    fixed request arrivals at 50 RPS."""
-    cells = []
-    for heuristic in heuristics:
-        for threshold in thresholds:
-            for headroom in headrooms:
-                cells.append(
-                    _run_threshold_config(
-                        heuristic=heuristic,
-                        threshold=threshold,
-                        headroom=headroom,
-                        workload=FixedRate(rps),
-                        duration_s=duration_s,
-                        seed=seed,
-                    )
-                )
-    return cells
+    fixed request arrivals at 50 RPS.
+
+    Cells run through the sweep runner: ``jobs`` fans them out over
+    worker processes and ``cache`` memoizes completed cells, with
+    output byte-identical to the serial loop either way.
+    """
+    spec = fig14cd_sweep_spec(
+        heuristics=heuristics,
+        thresholds=thresholds,
+        headrooms=headrooms,
+        rps=rps,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results
+
+
+def fig16_sweep_spec(
+    *,
+    thresholds: tuple[float, ...] = (0.25, 0.50, 0.65, 0.75),
+    mean_rps: float = 50.0,
+    headroom: float = 0.20,
+    duration_s: float = 600.0,
+    seed: int = 16,
+) -> SweepSpec:
+    """Fig 16's threshold sweep as a sweep spec."""
+    cells = tuple(
+        CellSpec(
+            fn="repro.experiments.thresholds:_fig16_cell",
+            kwargs={
+                "threshold": threshold,
+                "mean_rps": mean_rps,
+                "headroom": headroom,
+                "duration_s": duration_s,
+            },
+            label=f"thr{threshold:g}",
+            seed=seed,
+        )
+        for threshold in thresholds
+    )
+    return SweepSpec(name="fig16", cells=cells)
 
 
 def fig16_exponential_thresholds(
@@ -123,25 +229,20 @@ def fig16_exponential_thresholds(
     headroom: float = 0.20,
     duration_s: float = 600.0,
     seed: int = 16,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
 ) -> list[ThresholdCell]:
     """Fig 16: the same sweep under exponential (Poisson) arrivals,
     longest-path scheduling, headroom fixed at 20 %."""
-    cells = []
-    for threshold in thresholds:
-        workload = ExponentialArrivals(
-            mean_rps, rng=np.random.default_rng(seed + int(threshold * 100))
-        )
-        cells.append(
-            _run_threshold_config(
-                heuristic="longest_path",
-                threshold=threshold,
-                headroom=headroom,
-                workload=workload,
-                duration_s=duration_s,
-                seed=seed,
-            )
-        )
-    return cells
+    spec = fig16_sweep_spec(
+        thresholds=thresholds,
+        mean_rps=mean_rps,
+        headroom=headroom,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results
 
 
 def best_threshold(cells: list[ThresholdCell]) -> float:

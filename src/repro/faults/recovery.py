@@ -114,7 +114,7 @@ class RecoveryCoordinator:
             # ordering, applied to the crash-evicted set.
             dag = controller.binding.dag
             lost.sort(
-                key=lambda name: (
+                key=lambda name, dag=dag: (
                     -(
                         sum(dag.dependencies(name).values())
                         + sum(dag.dependents(name).values())

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import bisect
 import csv
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -140,7 +141,7 @@ class BandwidthTrace:
             raise TraceError("scale factor must be non-negative")
         return BandwidthTrace(self._times, self._values * factor, loop=self._loop)
 
-    def clipped(self, min_mbps: float = 0.0, max_mbps: float = float("inf")) -> "BandwidthTrace":
+    def clipped(self, min_mbps: float = 0.0, max_mbps: float = math.inf) -> "BandwidthTrace":
         """Trace with values clipped into [min_mbps, max_mbps]."""
         return BandwidthTrace(
             self._times,

@@ -115,7 +115,7 @@ def max_min_allocation_reference(
         )
         delta = max(delta, 0.0)
 
-        for fid, flow in active.items():
+        for fid in active:
             rates[fid] += delta
         for key, count in flows_on_link.items():
             remaining[key] -= delta * count
@@ -316,6 +316,25 @@ def _solve_vectorized(
     active.clear()
 
 
+def auto_solver(active_flows: Sequence[FlowDemand]) -> str:
+    """The implementation ``solver="auto"`` dispatches to.
+
+    Small instances stay on the indexed solver: below the thresholds the
+    vectorized solver's array setup costs more than the whole solve (the
+    perf harness's ``n005_f010`` case runs ~4x slower vectorized), so
+    auto must never pick it there.  ``active_flows`` is the post-
+    partition active set — loopback and zero-demand flows are granted
+    before dispatch and never count toward the thresholds.
+    """
+    entries = sum(len(flow.links) for flow in active_flows)
+    return (
+        "vectorized"
+        if len(active_flows) >= _VECTOR_MIN_FLOWS
+        and entries >= _VECTOR_MIN_ENTRIES
+        else "indexed"
+    )
+
+
 def max_min_allocation(
     flows: Sequence[FlowDemand],
     capacities: Mapping[LinkKey, float],
@@ -348,13 +367,7 @@ def max_min_allocation(
     if not active:
         return rates
     if solver == "auto":
-        entries = sum(len(flow.links) for flow in active.values())
-        solver = (
-            "vectorized"
-            if len(active) >= _VECTOR_MIN_FLOWS
-            and entries >= _VECTOR_MIN_ENTRIES
-            else "indexed"
-        )
+        solver = auto_solver(tuple(active.values()))
     if solver == "vectorized":
         _solve_vectorized(rates, active, capacities)
     else:

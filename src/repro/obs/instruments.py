@@ -168,7 +168,12 @@ class StandardInstruments:
     * ``bass_recoveries_total`` / ``bass_recovery_failures_total`` —
       crash-evicted pods re-placed (or not) on surviving nodes;
     * ``bass_arbiter_conflicts_total`` — fleet-arbiter contention
-      across both migration and recovery deflections.
+      across both migration and recovery deflections;
+    * ``bass_sweep_cells_total{status}`` — sweep-runner cells by
+      outcome (executed / cached / failed), with
+      ``bass_sweep_cell_seconds`` timing fresh executions and the
+      ``bass_sweep_cells_per_second`` / ``bass_sweep_cache_hit_rate``
+      gauges carrying each sweep's closing summary.
     """
 
     def __init__(self, registry: Optional[InstrumentRegistry] = None) -> None:
@@ -222,3 +227,25 @@ class StandardInstruments:
             registry.counter("bass_recovery_failures_total").inc(time)
         elif kind == "recovery.deflected":
             registry.counter("bass_arbiter_conflicts_total").inc(time)
+        elif kind == "cell.done":
+            registry.counter("bass_sweep_cells_total", status="executed").inc(
+                time
+            )
+            registry.histogram("bass_sweep_cell_seconds").observe(
+                time, event.data.get("duration_s", 0.0)
+            )
+        elif kind == "cell.cached":
+            registry.counter("bass_sweep_cells_total", status="cached").inc(
+                time
+            )
+        elif kind == "cell.failed":
+            registry.counter("bass_sweep_cells_total", status="failed").inc(
+                time
+            )
+        elif kind == "sweep.done":
+            registry.gauge("bass_sweep_cells_per_second").set(
+                time, event.data.get("cells_per_second", 0.0)
+            )
+            registry.gauge("bass_sweep_cache_hit_rate").set(
+                time, event.data.get("cache_hit_rate", 0.0)
+            )

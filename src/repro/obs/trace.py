@@ -56,6 +56,11 @@ EVENT_KINDS = (
     "recovery.plan",  # coordinator planned re-placement of lost pods
     "recovery.deflected",  # arbiter contention changed a recovery target
     "recovery.failed",  # a lost pod could not be re-placed anywhere
+    "sweep.start",  # the sweep runner began fanning cells out
+    "cell.done",  # one sweep cell executed (fresh result)
+    "cell.cached",  # one sweep cell served from the result cache
+    "cell.failed",  # one sweep cell raised in its worker
+    "sweep.done",  # all cells settled; summary stats attached
 )
 
 

@@ -1,0 +1,45 @@
+"""Parallel sweep runner with content-addressed result caching.
+
+The evaluation workloads — threshold grids, seeded churn sweeps,
+ablations, multi-tenant scaling — are embarrassingly parallel: every
+(configuration, seed) cell is an independent deterministic simulation.
+This package fans cells out over worker processes, memoizes completed
+cells on disk keyed by *content* (configuration + seed + a fingerprint
+of the code they exercise), and merges results in canonical cell order
+so parallel output is byte-identical to serial output.
+
+See DESIGN.md, "Parallel sweeps".
+"""
+
+from .cache import MISS, ResultCache, cell_key, open_cache
+from .codec import canonical_json, decode_value, encode_value
+from .fingerprint import code_fingerprint
+from .sweep import (
+    CellFailure,
+    CellSpec,
+    SweepCellError,
+    SweepOutcome,
+    SweepSpec,
+    SweepStats,
+    derive_cell_seed,
+    run_sweep,
+)
+
+__all__ = [
+    "MISS",
+    "CellFailure",
+    "CellSpec",
+    "ResultCache",
+    "SweepCellError",
+    "SweepOutcome",
+    "SweepSpec",
+    "SweepStats",
+    "canonical_json",
+    "cell_key",
+    "code_fingerprint",
+    "decode_value",
+    "derive_cell_seed",
+    "encode_value",
+    "open_cache",
+    "run_sweep",
+]

@@ -1,0 +1,132 @@
+"""Content-addressed on-disk cache for completed sweep cells.
+
+Every cell is addressed by a stable SHA-256 key over its *content*:
+the cell function's import path, its keyword arguments (canonically
+encoded, so dict insertion order never matters), and a code fingerprint
+of the modules the cell exercises (see :mod:`repro.runner.fingerprint`).
+Two processes — or two machines — that run the same cell against the
+same code compute the same key and share the entry.
+
+Entries are single JSON files under ``<root>/<key[:2]>/<key>.json``.
+Writes go to a temporary file in the same directory and are published
+with an atomic ``os.replace``, so a crash mid-write can never leave a
+partial entry behind: readers see either nothing or a complete record.
+
+Example:
+    >>> key_a = cell_key("m:f", {"a": 1, "b": {"x": 1, "y": 2}}, "fp")
+    >>> key_b = cell_key("m:f", {"b": {"y": 2, "x": 1}, "a": 1}, "fp")
+    >>> key_a == key_b  # dict order is irrelevant to the address
+    True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from .codec import canonical_json, decode_value, encode_value
+
+#: Sentinel distinguishing a cache miss from a legitimately-None value.
+MISS: Any = object()
+
+_SCHEMA = 1
+
+
+def cell_key(
+    fn: str, kwargs: Mapping[str, Any], fingerprint: str
+) -> str:
+    """The content address of one cell: hash(fn + kwargs + code).
+
+    ``kwargs`` is canonically encoded first (sorted keys at every
+    nesting level), so two configurations that differ only in dict
+    insertion order share a key — and therefore a cache entry.
+    """
+    material = canonical_json(
+        {"fn": fn, "kwargs": dict(kwargs), "code": fingerprint}
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of completed cell results.
+
+    Args:
+        root: cache directory (created on first write).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (two-level fan-out by prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Any:
+        """The decoded result for ``key``, or :data:`MISS`.
+
+        Unreadable or corrupt entries (interrupted external writers,
+        schema drift) count as misses rather than failures — the cell
+        simply re-runs and rewrites the entry.
+        """
+        path = self.path_for(key)
+        try:
+            record = json.loads(path.read_text())
+            result = decode_value(record["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return MISS
+        except (json.JSONDecodeError, KeyError, TypeError, AttributeError,
+                ModuleNotFoundError, OSError):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        key: str,
+        result: Any,
+        *,
+        sweep: str = "",
+        label: str = "",
+    ) -> Path:
+        """Persist ``result`` under ``key`` atomically.
+
+        The record is written to a same-directory temp file and
+        published with ``os.replace``; on any failure the temp file is
+        removed, so no partial entry ever becomes visible.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": _SCHEMA,
+            "key": key,
+            "sweep": sweep,
+            "label": label,
+            "result": encode_value(result),
+        }
+        temp = path.parent / f".{key}.tmp-{os.getpid()}"
+        try:
+            temp.write_text(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(temp, path)
+        except BaseException:
+            temp.unlink(missing_ok=True)
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of complete entries on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def open_cache(root: Optional[str | Path]) -> Optional[ResultCache]:
+    """A :class:`ResultCache` at ``root``, or None when ``root`` is None
+    (caching disabled)."""
+    return None if root is None else ResultCache(root)

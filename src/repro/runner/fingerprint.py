@@ -1,0 +1,66 @@
+"""Code fingerprinting for cache invalidation.
+
+A cached cell result is only valid while the code that produced it is
+unchanged.  Rather than versioning by hand, the cache key embeds a
+SHA-256 fingerprint of the *source text* of the modules a sweep
+exercises (by default the whole ``repro`` package): edit any line of
+any fingerprinted module and every dependent cache entry silently
+becomes a miss.
+
+Fingerprints hash (relative path, file bytes) pairs in sorted path
+order, so they are stable across machines and independent of import
+order or ``.pyc`` state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from functools import lru_cache
+from pathlib import Path
+from typing import Sequence
+
+
+def _module_sources(name: str) -> list[tuple[str, Path]]:
+    """(label, path) pairs for every source file of module ``name``.
+
+    A package contributes every ``*.py`` beneath its directory; a plain
+    module contributes its single file.  Modules without a source file
+    (builtins, namespace oddities) contribute nothing but their name.
+    """
+    module = importlib.import_module(name)
+    paths = getattr(module, "__path__", None)
+    if paths:  # package: walk every source file beneath it
+        pairs = []
+        for root in sorted(str(p) for p in paths):
+            base = Path(root)
+            pairs.extend(
+                (f"{name}/{path.relative_to(base).as_posix()}", path)
+                for path in sorted(base.rglob("*.py"))
+            )
+        return pairs
+    source = getattr(module, "__file__", None)
+    if source is None:
+        return []
+    return [(name, Path(source))]
+
+
+@lru_cache(maxsize=32)
+def code_fingerprint(modules: Sequence[str] = ("repro",)) -> str:
+    """Hex SHA-256 over the source text of ``modules`` (sorted, stable).
+
+    Args:
+        modules: importable module or package names.  Must be hashable
+            (pass a tuple); results are memoized per process since
+            source files do not change mid-run.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(set(modules)):
+        digest.update(name.encode())
+        digest.update(b"\x00")
+        for label, path in _module_sources(name):
+            digest.update(label.encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()

@@ -1,0 +1,337 @@
+"""Parallel sweep execution with deterministic, canonical-order merge.
+
+A sweep is an ordered tuple of cells — independent (configuration,
+seed) evaluations of a module-level function.  :func:`run_sweep` fans
+pending cells out over a ``ProcessPoolExecutor`` (or runs them inline
+for ``jobs=1``), consults a content-addressed
+:class:`~repro.runner.cache.ResultCache` before executing anything, and
+merges results back **in canonical cell order** — so the output of
+``jobs=N`` is byte-identical to ``jobs=1``, which is byte-identical to
+the serial loops the sweep replaced.  The golden tests pin exactly
+that.
+
+Determinism contract:
+
+* cells receive explicit seeds (directly, or derived per cell from the
+  spec's ``base_seed`` via :func:`derive_cell_seed`) — never ambient
+  process randomness;
+* workers return results by value; the parent alone orders, caches,
+  and reduces them;
+* trace events (``sweep.start`` / ``cell.done`` / ``cell.cached``) are
+  emitted during the ordered merge, so traces are reproducible too.
+
+A cell that raises fails alone: the worker ships the formatted
+traceback back as data, the pool keeps draining the remaining cells,
+no cache entry is written for the failure, and (by default) the sweep
+raises :class:`SweepCellError` carrying the original traceback once
+every cell has settled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+from ..obs.trace import TracerBase, resolve_tracer
+from .cache import MISS, ResultCache, cell_key
+from .codec import canonical_json
+from .fingerprint import code_fingerprint
+from .worker import execute_cell, initialize_worker
+
+
+def derive_cell_seed(base_seed: int, *parts: Any) -> int:
+    """A deterministic 31-bit seed for one cell of a sweep.
+
+    Stable across processes and Python versions (content-hash based,
+    not ``hash()``-based), and insensitive to dict ordering in
+    ``parts`` thanks to the canonical encoding.
+
+    Example:
+        >>> derive_cell_seed(7, "fig14cd", 0.65) == derive_cell_seed(
+        ...     7, "fig14cd", 0.65
+        ... )
+        True
+    """
+    material = canonical_json([base_seed, list(parts)])
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One sweep cell: a named function plus JSON-friendly kwargs.
+
+    Attributes:
+        fn: import path ``"package.module:function"``; must resolve to
+            a module-level callable in workers.
+        kwargs: keyword arguments (primitives, tuples, dicts — anything
+            the sweep codec encodes) passed to the function.
+        label: human-readable identifier used in traces and failures.
+        seed: optional explicit seed merged into ``kwargs`` as
+            ``seed=``; cells without one fall back to the spec's
+            ``base_seed`` derivation when that is set.
+    """
+
+    fn: str
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+    seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered, named collection of cells plus cache-key inputs.
+
+    Attributes:
+        name: sweep identifier (stamped on traces and cache records).
+        cells: canonical cell order — the reducer merges results in
+            exactly this order regardless of completion order.
+        modules: module/package names whose source text fingerprints
+            the cache key (default: the whole ``repro`` package, so any
+            code change invalidates every entry).
+        base_seed: when set, cells without an explicit seed get
+            ``derive_cell_seed(base_seed, index, label)``.
+    """
+
+    name: str
+    cells: tuple[CellSpec, ...]
+    modules: tuple[str, ...] = ("repro",)
+    base_seed: Optional[int] = None
+
+    def resolved_kwargs(self, index: int) -> dict[str, Any]:
+        """The cell's kwargs with its seed merged in (if any)."""
+        cell = self.cells[index]
+        kwargs = dict(cell.kwargs)
+        if cell.seed is not None:
+            kwargs["seed"] = cell.seed
+        elif self.base_seed is not None and "seed" not in kwargs:
+            kwargs["seed"] = derive_cell_seed(
+                self.base_seed, index, cell.label
+            )
+        return kwargs
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One failed cell: where it sat and the worker's original traceback."""
+
+    index: int
+    label: str
+    traceback: str
+
+
+class SweepCellError(RuntimeError):
+    """Raised (in strict mode) after the sweep drained, if cells failed.
+
+    Carries every failure; the message leads with the first original
+    traceback so the root cause is visible without unpacking.
+    """
+
+    def __init__(self, sweep: str, failures: Sequence[CellFailure]) -> None:
+        self.sweep = sweep
+        self.failures = tuple(failures)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} cell(s) of sweep {sweep!r} failed; "
+            f"first failure at cell {first.index} "
+            f"({first.label or 'unlabelled'}):\n{first.traceback}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Execution accounting for one :func:`run_sweep` call."""
+
+    cells: int
+    executed: int
+    cached: int
+    failed: int
+    wall_s: float
+    cells_per_second: float
+    cache_hit_rate: float
+
+
+@dataclass
+class SweepOutcome:
+    """Results (canonical cell order) plus failures and stats."""
+
+    spec: SweepSpec
+    results: list[Any]
+    failures: list[CellFailure]
+    stats: SweepStats
+
+    def to_canonical_json(self) -> str:
+        """The sweep's golden output: canonical JSON of the result list.
+
+        Byte-identical across ``jobs`` settings and across runs (for
+        deterministic cells) — this is the string the ``--jobs 2`` CI
+        golden diffs against the serial run.
+        """
+        return canonical_json(self.results)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (fast, inherits sys.path), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    tracer: Optional[TracerBase] = None,
+    strict: bool = True,
+) -> SweepOutcome:
+    """Execute ``spec``'s cells, in parallel and through the cache.
+
+    Args:
+        spec: the sweep definition (canonical cell order).
+        jobs: worker processes; ``1`` runs inline in this process.
+            Outputs are byte-identical either way.
+        cache: completed-cell store; None disables memoization.  Only
+            the parent process writes entries, after a cell succeeds.
+        tracer: flight recorder for ``sweep.start`` / ``cell.done`` /
+            ``cell.cached`` / ``sweep.done`` events (defaults to the
+            process default tracer).  Event times are wall-clock
+            seconds since the sweep started.
+        strict: raise :class:`SweepCellError` after the sweep drains if
+            any cell failed; ``False`` returns the partial outcome.
+
+    Returns:
+        :class:`SweepOutcome` with ``results[i]`` corresponding to
+        ``spec.cells[i]`` (None for failed cells in non-strict mode).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tracer = resolve_tracer(tracer)
+    begin = time.perf_counter()
+    total = len(spec.cells)
+    if tracer.enabled:
+        tracer.emit(
+            "sweep.start",
+            0.0,
+            sweep=spec.name,
+            cells=total,
+            jobs=jobs,
+            cache="on" if cache is not None else "off",
+        )
+
+    resolved = [spec.resolved_kwargs(i) for i in range(total)]
+    keys: list[Optional[str]] = [None] * total
+    results: list[Any] = [None] * total
+    status: list[str] = ["pending"] * total
+    durations = [0.0] * total
+    failures: list[CellFailure] = []
+
+    pending: list[int] = []
+    if cache is not None:
+        fingerprint = code_fingerprint(spec.modules)
+        for index in range(total):
+            key = cell_key(spec.cells[index].fn, resolved[index], fingerprint)
+            keys[index] = key
+            hit = cache.get(key)
+            if hit is MISS:
+                pending.append(index)
+            else:
+                results[index] = hit
+                status[index] = "cached"
+    else:
+        pending = list(range(total))
+
+    def settle(index: int, ok: bool, payload: Any, duration: float) -> None:
+        durations[index] = duration
+        if ok:
+            results[index] = payload
+            status[index] = "executed"
+            if cache is not None:
+                cache.put(
+                    keys[index],
+                    payload,
+                    sweep=spec.name,
+                    label=spec.cells[index].label,
+                )
+        else:
+            status[index] = "failed"
+            failures.append(
+                CellFailure(index, spec.cells[index].label, payload)
+            )
+
+    if len(pending) > 1 and jobs > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=_pool_context(),
+            initializer=initialize_worker,
+            initargs=(list(sys.path),),
+        ) as pool:
+            futures = {
+                pool.submit(
+                    execute_cell, spec.cells[index].fn, resolved[index]
+                ): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                ok, payload, duration = future.result()
+                settle(futures[future], ok, payload, duration)
+    else:
+        for index in pending:
+            ok, payload, duration = execute_cell(
+                spec.cells[index].fn, resolved[index]
+            )
+            settle(index, ok, payload, duration)
+
+    wall_s = time.perf_counter() - begin
+    # Merge-phase events run in canonical cell order — completion order
+    # (a race under jobs > 1) never leaks into the trace.
+    if tracer.enabled:
+        kind_of = {
+            "executed": "cell.done",
+            "cached": "cell.cached",
+            "failed": "cell.failed",
+        }
+        for index in range(total):
+            tracer.emit(
+                kind_of[status[index]],
+                wall_s,
+                sweep=spec.name,
+                cell=index,
+                label=spec.cells[index].label,
+                duration_s=durations[index],
+            )
+
+    cached = sum(1 for s in status if s == "cached")
+    executed = sum(1 for s in status if s == "executed")
+    stats = SweepStats(
+        cells=total,
+        executed=executed,
+        cached=cached,
+        failed=len(failures),
+        wall_s=wall_s,
+        cells_per_second=(total / wall_s if wall_s > 0 else 0.0),
+        cache_hit_rate=(cached / total if total else 0.0),
+    )
+    if tracer.enabled:
+        tracer.emit(
+            "sweep.done",
+            wall_s,
+            sweep=spec.name,
+            cells=total,
+            executed=executed,
+            cached=cached,
+            failed=len(failures),
+            cells_per_second=stats.cells_per_second,
+            cache_hit_rate=stats.cache_hit_rate,
+        )
+    if failures and strict:
+        raise SweepCellError(spec.name, failures)
+    return SweepOutcome(
+        spec=spec, results=results, failures=failures, stats=stats
+    )

@@ -1,0 +1,46 @@
+"""Tiny deterministic cells for exercising the sweep runner.
+
+Real sweep cells simulate minutes of mesh time; these are
+millisecond-scale stand-ins with the same shape (module-level function,
+keyword arguments, dataclass result) used by the runner's own unit
+tests and by quick smoke checks.  They live in the package — not under
+``tests/`` — so worker processes can import them under any start
+method.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SquareResult:
+    """What :func:`square_cell` returns."""
+
+    value: int
+    squared: int
+    seed: int
+
+
+def square_cell(*, value: int, seed: int = 0) -> SquareResult:
+    """A trivially deterministic cell."""
+    return SquareResult(value=value, squared=value * value, seed=seed)
+
+
+def crashing_cell(*, value: int) -> SquareResult:
+    """A cell that always fails (worker-crash handling tests)."""
+    raise ValueError(f"boom on {value}")
+
+
+def slow_cell(*, value: int, sleep_s: float = 0.05) -> SquareResult:
+    """A cell that burns wall time (parallel speedup smoke checks)."""
+    deadline = time.perf_counter() + sleep_s
+    while time.perf_counter() < deadline:
+        pass  # spin: sleep() under-schedules tiny durations on busy CI
+    return SquareResult(value=value, squared=value * value, seed=0)
+
+
+def unserializable_cell(*, value: int) -> object:
+    """A cell whose result the codec rejects (cache-error tests)."""
+    return object()

@@ -14,7 +14,10 @@ import numpy as np
 import pytest
 
 from repro.net.fairness import (
+    _VECTOR_MIN_ENTRIES,
+    _VECTOR_MIN_FLOWS,
     FlowDemand,
+    auto_solver,
     max_min_allocation,
     max_min_allocation_reference,
 )
@@ -113,6 +116,45 @@ def test_auto_uses_vectorized_on_large_instances():
     assert max_min_allocation(
         flows, capacities
     ) == max_min_allocation_reference(flows, capacities)
+
+
+def test_auto_never_picks_vectorized_on_small_perf_instances():
+    """The perf harness's smallest tracked case (``n005_f010``: 5 nodes,
+    10 flows) runs ~4x *slower* vectorized — array setup dwarfs the
+    solve.  The auto-selector must keep instances of that size on the
+    indexed solver, whatever the paths look like."""
+    rng = np.random.default_rng(505)
+    for case in range(50):
+        flows, _ = random_instance(rng, 5, 10)
+        active = [f for f in flows if f.links and f.demand_mbps > 0]
+        assert auto_solver(active) == "indexed", f"case {case}"
+        assert auto_solver(flows) == "indexed", f"case {case} (unfiltered)"
+
+
+def test_auto_solver_threshold_boundary():
+    """Vectorized dispatch needs *both* thresholds: enough flows and
+    enough path entries."""
+
+    def flows_with(n_flows, links_each):
+        return [
+            FlowDemand(
+                flow_id=f"f{i}",
+                links=tuple(
+                    (f"n{h}", f"n{h + 1}") for h in range(links_each)
+                ),
+                demand_mbps=1.0,
+            )
+            for i in range(n_flows)
+        ]
+
+    links_each = _VECTOR_MIN_ENTRIES // _VECTOR_MIN_FLOWS
+    at_both = flows_with(_VECTOR_MIN_FLOWS, links_each)
+    assert auto_solver(at_both) == "vectorized"
+    assert auto_solver(at_both[:-1]) == "indexed"  # one flow short
+    assert (
+        auto_solver(flows_with(_VECTOR_MIN_FLOWS, links_each - 1))
+        == "indexed"  # enough flows, too few entries
+    )
 
 
 def test_dead_links_pin_their_flows_to_zero():

@@ -76,7 +76,7 @@ def test_random_failures_never_route_through_dead_gear(seed):
         src, dst = (names[j] for j in gen.choice(NODES, size=2, replace=False))
         netem.add_flow(f"flow{i}", src, dst, 1.0)
 
-    for step in range(8):
+    for _step in range(8):
         roll = gen.uniform()
         if roll < 0.35:
             node = names[int(gen.integers(NODES))]

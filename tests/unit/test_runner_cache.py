@@ -1,0 +1,113 @@
+"""The content-addressed result cache.
+
+The satellite contract pinned here: cache keys are insensitive to dict
+insertion order in config values (two sweeps that build the same
+configuration in different key orders must share entries), entries are
+published atomically, and corruption degrades to a re-run, never a
+crash.
+"""
+
+import json
+
+from repro.runner import MISS, ResultCache, cell_key, code_fingerprint
+from repro.runner.testing import SquareResult
+
+
+def test_cell_key_ignores_dict_insertion_order():
+    first = cell_key(
+        "m:f", {"a": 1, "nested": {"x": 1, "y": 2}}, "fingerprint"
+    )
+    second = cell_key(
+        "m:f", {"nested": {"y": 2, "x": 1}, "a": 1}, "fingerprint"
+    )
+    assert first == second
+
+
+def test_cell_key_varies_with_content():
+    base = cell_key("m:f", {"a": 1}, "fp")
+    assert cell_key("m:g", {"a": 1}, "fp") != base
+    assert cell_key("m:f", {"a": 2}, "fp") != base
+    assert cell_key("m:f", {"a": 1}, "other-code") != base
+
+
+def test_configs_differing_only_in_dict_order_share_an_entry(tmp_path):
+    """Two configs that differ only in dict insertion order hit one
+    cache entry — write under one ordering, read under the other."""
+    cache = ResultCache(tmp_path)
+    fingerprint = code_fingerprint(("repro.runner",))
+    ordered = {"value": 3, "options": {"alpha": 1, "beta": 2}}
+    reordered = {"options": {"beta": 2, "alpha": 1}, "value": 3}
+
+    key_write = cell_key("repro.runner.testing:square_cell", ordered,
+                         fingerprint)
+    cache.put(key_write, SquareResult(3, 9, 0), sweep="s", label="c")
+
+    key_read = cell_key("repro.runner.testing:square_cell", reordered,
+                        fingerprint)
+    assert key_read == key_write
+    assert cache.get(key_read) == SquareResult(3, 9, 0)
+    assert len(cache) == 1  # one entry serves both orderings
+
+
+def test_get_distinguishes_none_from_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {}, "fp")
+    assert cache.get(key) is MISS
+    cache.put(key, None)
+    assert cache.get(key) is None
+    assert cache.get(key) is not MISS
+
+
+def test_hit_and_miss_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {"v": 1}, "fp")
+    cache.get(key)
+    cache.put(key, 42)
+    cache.get(key)
+    cache.get(key)
+    assert (cache.misses, cache.hits) == (1, 2)
+
+
+def test_corrupt_entry_counts_as_miss_and_is_rewritable(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {"v": 1}, "fp")
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text("{ truncated")
+    assert cache.get(key) is MISS
+    cache.put(key, SquareResult(1, 1, 0))
+    assert cache.get(key) == SquareResult(1, 1, 0)
+
+
+def test_put_is_atomic_and_leaves_no_temp_droppings(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {"v": 2}, "fp")
+    cache.put(key, SquareResult(2, 4, 0), sweep="demo", label="v2")
+    entries = list(tmp_path.rglob("*"))
+    files = [p for p in entries if p.is_file()]
+    assert [p.name for p in files] == [f"{key}.json"]
+    record = json.loads(files[0].read_text())
+    assert record["sweep"] == "demo"
+    assert record["label"] == "v2"
+
+
+def test_failed_put_removes_temp_file(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {"v": 3}, "fp")
+    try:
+        cache.put(key, object())  # codec rejects it mid-serialization
+    except TypeError:
+        pass
+    else:  # pragma: no cover - the put must fail
+        raise AssertionError("expected TypeError from the codec")
+    assert cache.get(key) is MISS
+    leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+    assert leftovers == []
+
+
+def test_len_counts_complete_entries(tmp_path):
+    cache = ResultCache(tmp_path / "fresh")
+    assert len(cache) == 0
+    for value in (1, 2, 3):
+        cache.put(cell_key("m:f", {"v": value}, "fp"), value)
+    assert len(cache) == 3
