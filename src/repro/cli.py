@@ -490,6 +490,54 @@ def _run_churnsweep(quick: bool, sweep: SweepSettings):
     return [outcome]
 
 
+def _regions_capable(run):
+    """Mark a runner as accepting the ``--regions N`` flag."""
+    run.regions_capable = True
+    return run
+
+
+@_regions_capable
+def _run_fleet(quick: bool, regions: int = 2) -> None:
+    from .experiments.fleet import fleet_handoff, fleet_mesh
+    from .metrics.summary import p50
+
+    duration = 120.0 if quick else 240.0
+    rows = []
+    for n_regions, tenants in ((1, 2), (regions, 2 * regions)):
+        result = fleet_mesh(
+            regions=n_regions, tenants=tenants, duration_s=duration
+        )
+        decisions = result.decision_seconds or [0.0]
+        rows.append(
+            [
+                n_regions,
+                tenants,
+                f"{result.probe_events_per_link_hour:.1f}",
+                f"{p50(decisions) * 1e3:.3f}",
+                result.conflict_count,
+                result.committed_handoffs,
+            ]
+        )
+    print(
+        _table(
+            ["regions", "tenants", "probes_per_link_hour",
+             "median_decision_ms", "conflicts", "handoffs"],
+            rows,
+        )
+    )
+    pressure = fleet_handoff(duration_s=120.0 if quick else 180.0)
+    latencies = pressure.handoff_latencies or [0.0]
+    print(
+        f"\nhandoff pressure (region 0 packed + throttled): "
+        f"{pressure.handoff_counts.get('committed', 0)} committed @ "
+        f"p50 {p50(latencies):.1f}s, "
+        f"{pressure.handoff_counts.get('denied', 0)} denied, "
+        f"{pressure.handoff_counts.get('aborted', 0)} aborted; "
+        f"{pressure.cross_region_migrations} cross-region migration(s), "
+        f"{pressure.conflict_count} arbiter conflict(s)"
+    )
+
+
 def _run_table2(quick: bool) -> None:
     from .experiments.static_placement import table2_camera_mesh
 
@@ -547,6 +595,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., object]]] = {
     "fig16": ("threshold sweep under exponential arrivals", _run_fig16),
     "multitenant": ("probe sharing and migration arbitration at scale",
                     _run_multitenant),
+    "fleet": ("regionalized control plane: sharded schedulers, handoffs",
+              _run_fleet),
     "churn": ("node crash: detection latency and recovery vs k3s", _run_churn),
     "churnsweep": ("randomized crash plans across seeds", _run_churnsweep),
     "ablations": ("the design-choice ablation battery", _run_ablations),
@@ -600,6 +650,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write the sweep's merged results as canonical JSON "
         "(byte-identical across --jobs settings)",
     )
+    runner.add_argument(
+        "--regions",
+        type=int,
+        default=2,
+        metavar="N",
+        help="region count for the regionalized fleet experiment",
+    )
     reporter = sub.add_parser(
         "report", help="render a saved trace as a causal run report"
     )
@@ -633,6 +690,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"sweep-shaped experiments; {args.experiment!r} is not one "
             f"(see 'bass-repro list')"
         )
+    regions_capable = getattr(run, "regions_capable", False)
+    if args.regions != 2 and not regions_capable:
+        parser.error(
+            f"--regions applies only to the regionalized fleet "
+            f"experiment; {args.experiment!r} does not take it"
+        )
     if sweep_capable:
         from .runner import open_cache
 
@@ -642,6 +705,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         invoke: Callable[[], object] = lambda: run(
             args.quick, SweepSettings(jobs=args.jobs, cache=cache)
         )
+    elif regions_capable:
+        invoke = lambda: run(args.quick, regions=args.regions)
     else:
         invoke = lambda: run(args.quick)
 

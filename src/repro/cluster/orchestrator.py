@@ -166,6 +166,29 @@ class Orchestrator:
 
     # -- migration -----------------------------------------------------------
 
+    def can_admit(
+        self, app: str, pod_name: str, target_node: str
+    ) -> Optional[str]:
+        """Non-mutating admission check for a prospective migration.
+
+        Returns None when :meth:`migrate` would succeed right now, else
+        a human-readable refusal reason.  Cross-region handoffs use this
+        at the destination-admit phase so an infeasible move aborts
+        before any ledger mutation.
+        """
+        try:
+            deployment = self.deployment(app)
+            spec = self.pod_spec(app, pod_name)
+        except SchedulingError as error:
+            return str(error)
+        if deployment.node_of(pod_name) == target_node:
+            return f"pod {pod_name!r} is already on {target_node!r}"
+        if target_node not in self.cluster:
+            return f"unknown node {target_node!r}"
+        if not self.cluster.node(target_node).can_fit(spec.resources):
+            return f"node {target_node!r} has no free resources"
+        return None
+
     def migrate(
         self,
         app: str,

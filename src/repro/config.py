@@ -135,16 +135,47 @@ class FleetConfig:
             re-flooding them.
         ledger_checks: after every epoch, assert the cluster resource
             ledger is consistent (no node over-allocated).
+        regions: shard the control plane into this many regions via the
+            deterministic topology partitioner.  ``None`` (the default)
+            keeps the single global observe/plan/act loop — the legacy
+            code path, byte-identical to the pre-region control plane.
+        region_specs: explicit region layout as ``(name, (node, ...))``
+            pairs; overrides ``regions``.  Kept as nested tuples so the
+            config stays hashable and JSON-encodable for the sweep
+            runner's cache keys.
+        handoff_rtt_s: control-plane round-trip between a region and the
+            fleet arbiter.  A cross-region handoff's destination-admit
+            step runs this long after the source released, so the
+            two-phase protocol is visible in simulation time.
     """
 
     probe_sharing: bool = True
     arbiter_enabled: bool = True
     startup_probe_respects_cooldown: bool = True
     ledger_checks: bool = True
+    regions: Optional[int] = None
+    region_specs: Optional[tuple[tuple[str, tuple[str, ...]], ...]] = None
+    handoff_rtt_s: float = 2.0
 
     def validate(self) -> "FleetConfig":
-        """Nothing to range-check today; kept for interface symmetry."""
+        """Range-check the region knobs; return self for chaining."""
+        if self.regions is not None and self.regions < 1:
+            raise ConfigError("regions must be >= 1 or None")
+        if self.region_specs is not None and not self.region_specs:
+            raise ConfigError("region_specs must be non-empty or None")
+        if self.handoff_rtt_s < 0:
+            raise ConfigError("handoff_rtt_s must be >= 0")
+        if self.regionalized and not self.arbiter_enabled:
+            raise ConfigError(
+                "a regionalized control plane requires the fleet arbiter "
+                "(claims and handoffs are brokered through it)"
+            )
         return self
+
+    @property
+    def regionalized(self) -> bool:
+        """Whether the two-tier (region + fleet arbiter) path is on."""
+        return self.regions is not None or self.region_specs is not None
 
 
 @dataclass(frozen=True)

@@ -34,6 +34,7 @@ from .netmonitor import NetMonitor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .controlplane import FleetArbiter
+    from .regions import RegionController
 
 
 @dataclass
@@ -106,6 +107,11 @@ class BandwidthController:
         self._pending_violations: list[Violation] = []
         self._epoch_seq = 0
         self._pending_plan_event: Optional[int] = None
+        #: Region this tenant is homed in (set by a regionalized control
+        #: plane).  When present, target selection is restricted to the
+        #: region's nodes and out-of-region escapes become handoff
+        #: requests brokered by the fleet arbiter.
+        self.region: Optional["RegionController"] = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -398,12 +404,14 @@ class BandwidthController:
         # Crashed nodes are never migration targets (empty set unless a
         # fault plan is active, so the healthy path is unchanged).
         down = self.netem.topology.down_nodes
+        allow = self.region.nodes if self.region is not None else None
         target = self.planner.select_target(
             component,
             deployment,
             self.orchestrator.cluster,
             self.netem,
             exclude=(claimed | down) or None,
+            allow=allow,
             achieved_mbps_of=self.binding.achieved_mbps,
             tracer=self.tracer,
             trace_cause=self._pending_plan_event,
@@ -417,6 +425,7 @@ class BandwidthController:
                 self.orchestrator.cluster,
                 self.netem,
                 exclude=down or None,
+                allow=allow,
                 achieved_mbps_of=self.binding.achieved_mbps,
             )
             if preferred is not None and preferred != target:
@@ -433,9 +442,12 @@ class BandwidthController:
                         granted=target,
                     )
         if target is None:
+            if self.region is not None:
+                self._maybe_request_handoff(
+                    component, deployment, claimed, down
+                )
             return False
-        restart = self.orchestrator.restart_seconds
-        restart += self._state_transfer_s(component, deployment, target)
+        restart = self.migration_restart_s(component, target)
         selected_event = None
         if self.tracer.enabled:
             selected_event = self.tracer.emit(
@@ -473,6 +485,61 @@ class BandwidthController:
         # until then the component's edges rightly carry zero demand.
         self.netem.engine.schedule_in(restart + 1e-6, self.binding.sync_flows)
         return True
+
+    def _maybe_request_handoff(
+        self, component: str, deployment, claimed: set, down: set
+    ) -> None:
+        """No in-region target qualified: if a node in another region
+        would, queue a two-phase handoff for the fleet broker instead of
+        migrating directly — the target is another region's to admit."""
+        region = self.region
+        if region.has_pending_handoff(self.app, component):
+            return
+        remote = self.planner.select_target(
+            component,
+            deployment,
+            self.orchestrator.cluster,
+            self.netem,
+            exclude=(claimed | down | set(region.nodes)) or None,
+            achieved_mbps_of=self.binding.achieved_mbps,
+        )
+        if remote is None:
+            return
+        region.queue_handoff(
+            time=self.netem.now,
+            app=self.app,
+            component=component,
+            source_node=deployment.node_of(component),
+            target_node=remote,
+            severity=self._component_severity(component),
+            cause=self._pending_plan_event,
+        )
+
+    def _component_severity(self, component: str) -> float:
+        """Worst pending-violation severity involving ``component``."""
+        return max(
+            (
+                v.severity
+                for v in self._pending_violations
+                if component in (v.component, v.dependency)
+            ),
+            default=0.0,
+        )
+
+    def note_external_migration(self, component: str, now: float) -> None:
+        """Account a migration executed outside this controller (a
+        committed handoff): the residency clock restarts and the
+        violation streak resets, exactly as after a local migration."""
+        self._last_migrated_at[component] = now
+        self._violating_since.pop(component, None)
+
+    def migration_restart_s(self, component: str, target: str) -> float:
+        """Unavailability window for moving ``component`` to ``target``
+        (base restart plus any stateful checkpoint transfer)."""
+        deployment = self.orchestrator.deployment(self.app)
+        return self.orchestrator.restart_seconds + self._state_transfer_s(
+            component, deployment, target
+        )
 
     def _state_transfer_s(
         self, component: str, deployment, target: str

@@ -30,15 +30,23 @@ migration decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from ..cluster.orchestrator import ClusterState, Orchestrator
 from ..config import FleetConfig, ProbeConfig
-from ..errors import SchedulingError
+from ..errors import MigrationError, SchedulingError
 from ..net.netem import NetworkEmulator
 from ..obs.trace import TracerBase, resolve_tracer
 from .controller import BandwidthController, ControllerIteration
 from .netmonitor import NetMonitor
+from .regions import (
+    HandoffRequest,
+    RegionClaim,
+    RegionController,
+    RegionMap,
+    RegionRoundStats,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.detector import FailureDetector
@@ -75,12 +83,29 @@ class ArbiterConflict:
 
 
 class FleetArbiter:
-    """Per-epoch migration claims board shared by all tenants.
+    """The fleet-level migration arbiter.
 
-    Within one controller epoch, the first application to migrate onto a
-    node claims it; subsequent applications must pick elsewhere (or wait
-    an epoch).  Claims reset every epoch — this arbitrates *races*, not
-    long-term placement, which the resource ledger already owns.
+    Two operating modes share one instance:
+
+    * **Synchronous (legacy)** — a per-epoch claims board.  Within one
+      controller epoch, the first application to migrate onto a node
+      claims it; subsequent applications must pick elsewhere (or wait
+      an epoch).  Claims reset every epoch — this arbitrates *races*,
+      not long-term placement, which the resource ledger already owns.
+    * **Eventually consistent (regionalized)** — regions act
+      autonomously against their local boards and submit *claim
+      batches* asynchronously.  :meth:`resolve` orders all pending
+      claims by ``(severity desc, epoch, region, app, component)``
+      without any global lock; losers of a same-node race are recorded
+      as conflicts, and the winning claims are *published* — regions
+      see them at their next round, one round late.  Hard resource
+      safety never depends on this: the cluster ledger's atomic
+      ``can_fit`` check guards every migration regardless of claim
+      ordering.
+
+    Cross-region migrations additionally go through the two-phase
+    handoff protocol (:class:`~repro.core.regions.HandoffRequest`),
+    tracked on :attr:`handoffs`.
     """
 
     def __init__(self) -> None:
@@ -88,6 +113,10 @@ class FleetArbiter:
         self.conflicts: list[ArbiterConflict] = []
         self.epoch_count = 0
         self._epoch_claims: dict[str, str] = {}  # node -> claiming app
+        self._pending: list[RegionClaim] = []
+        self._published: dict[str, RegionClaim] = {}  # node -> winner
+        self.resolution_count = 0
+        self.handoffs: list[HandoffRequest] = []
 
     def begin_epoch(self, time: float) -> None:
         """Clear the claims board for a new epoch."""
@@ -122,6 +151,91 @@ class FleetArbiter:
     @property
     def conflict_count(self) -> int:
         return len(self.conflicts)
+
+    # -- eventually-consistent claim epochs (regionalized mode) ------------
+
+    def submit_batch(self, batch: list[RegionClaim]) -> None:
+        """Async ingest of one region's round claims (no lock, no
+        ordering yet — resolution happens at :meth:`resolve`)."""
+        self._pending.extend(batch)
+
+    def resolve(
+        self, time: float
+    ) -> list[tuple[RegionClaim, RegionClaim]]:
+        """Order all pending claims and publish the winners' board.
+
+        Claims are totally ordered by ``(-severity, epoch, region, app,
+        component)``; the first claim on each node wins the published
+        slot.  A losing claim's migration *already executed* (regions
+        do not wait for permission — that is the eventual-consistency
+        trade) — the loss is recorded as a conflict so the contention is
+        visible, and the loser gets no published protection for the
+        node.  Returns ``(loser, winner)`` pairs.
+        """
+        ordered = sorted(
+            self._pending,
+            key=lambda c: (-c.severity, c.epoch, c.region, c.app, c.component),
+        )
+        board: dict[str, RegionClaim] = {}
+        collisions: list[tuple[RegionClaim, RegionClaim]] = []
+        for claim in ordered:
+            self.claims.append(
+                ArbiterClaim(claim.time, claim.app, claim.component, claim.node)
+            )
+            held = board.get(claim.node)
+            if held is None:
+                board[claim.node] = claim
+            elif held.region != claim.region or held.app != claim.app:
+                self.record_conflict(
+                    time, claim.app, claim.component, claim.node, None
+                )
+                collisions.append((claim, held))
+        self._pending = []
+        self._published = board
+        self.resolution_count += 1
+        return collisions
+
+    def published_claims(self) -> dict[str, tuple[str, str]]:
+        """node -> (region, app) winners of the last resolution — the
+        (one round stale) view regions arbitrate against."""
+        return {
+            node: (claim.region, claim.app)
+            for node, claim in self._published.items()
+        }
+
+    def board_claim(self, node: str) -> Optional[RegionClaim]:
+        return self._published.get(node)
+
+    # -- two-phase handoff bookkeeping -------------------------------------
+
+    def reserve_for_handoff(self, request: HandoffRequest) -> None:
+        """Pin the target node on the published board while the handoff
+        is in flight, so no other claim or handoff grabs it."""
+        self._published[request.target_node] = RegionClaim(
+            time=request.requested_at,
+            epoch=request.epoch,
+            region=request.target_region,
+            app=request.app,
+            component=request.component,
+            node=request.target_node,
+            severity=request.severity,
+        )
+
+    def release_handoff_reservation(self, request: HandoffRequest) -> None:
+        held = self._published.get(request.target_node)
+        if (
+            held is not None
+            and held.app == request.app
+            and held.component == request.component
+        ):
+            del self._published[request.target_node]
+
+    def handoff_counts(self) -> dict[str, int]:
+        """Handoff records by terminal/current phase."""
+        counts: dict[str, int] = {}
+        for request in self.handoffs:
+            counts[request.phase] = counts.get(request.phase, 0) + 1
+        return counts
 
 
 def check_cluster_ledger(cluster: ClusterState) -> None:
@@ -172,6 +286,20 @@ class ControlPlane:
         self._controllers: dict[str, BandwidthController] = {}
         self._tasks: dict[float, "PeriodicTask"] = {}
         self.recovery: Optional["RecoveryCoordinator"] = None
+        #: Two-tier (regionalized) state; all None/empty on the legacy
+        #: single-loop path, which stays byte-identical.
+        self.region_map: Optional[RegionMap] = (
+            RegionMap.from_config(netem.topology, self.config)
+            if self.config.regionalized
+            else None
+        )
+        self._regions: dict[str, RegionController] = {}
+        self._home_region: dict[str, str] = {}
+        #: Per-fleet-round decision latency: max over regions of the
+        #: (plan + act) wall time, plus the arbiter's resolution time —
+        #: the fleet-level latency had regions run in parallel.
+        self.epoch_decision_seconds: list[float] = []
+        self.round_stats: list[RegionRoundStats] = []
 
     # -- accessors ---------------------------------------------------------
 
@@ -189,6 +317,35 @@ class ControlPlane:
         """Managed application names, in registration order."""
         return list(self._controllers)
 
+    @property
+    def regionalized(self) -> bool:
+        return self.region_map is not None
+
+    def region_controller(self, name: str) -> RegionController:
+        """The named region's runtime (created on first use)."""
+        if self.region_map is None:
+            raise SchedulingError("control plane is not regionalized")
+        region = self._regions.get(name)
+        if region is None:
+            spec = self.region_map.spec(name)
+            if self._monitor is None:
+                self._monitor = NetMonitor(
+                    self.netem, None, tracer=self.tracer
+                )
+            region = RegionController(
+                spec,
+                self._monitor.region_view(name, spec.nodes),
+                region_map=self.region_map,
+                tracer=self.tracer,
+            )
+            self._regions[name] = region
+        return region
+
+    def home_region(self, app: str) -> Optional[str]:
+        """The region running this tenant's control loop (None on the
+        legacy path)."""
+        return self._home_region.get(app)
+
     def controller(self, app: str) -> BandwidthController:
         try:
             return self._controllers[app]
@@ -199,13 +356,23 @@ class ControlPlane:
 
     # -- monitor sharing ---------------------------------------------------
 
-    def monitor_for(self, probe_config: Optional[ProbeConfig]) -> NetMonitor:
+    def monitor_for(
+        self,
+        probe_config: Optional[ProbeConfig],
+        *,
+        assignments: Optional[Mapping[str, str]] = None,
+    ) -> NetMonitor:
         """The monitor a new tenant should use.
 
         With probe sharing on, every tenant gets the one fleet monitor
         (created from the *first* tenant's probe configuration — later
         tenants share its cadence parameters).  Otherwise each call
         returns a fresh private monitor, the legacy behaviour.
+
+        On a regionalized control plane, ``assignments`` (the tenant's
+        pod → node map) routes the tenant to its home region's scoped
+        monitor view, so its startup flood and epoch probing stay
+        inside the region.
         """
         if not self.config.probe_sharing:
             return NetMonitor(self.netem, probe_config, tracer=self.tracer)
@@ -213,6 +380,9 @@ class ControlPlane:
             self._monitor = NetMonitor(
                 self.netem, probe_config, tracer=self.tracer
             )
+        if self.region_map is not None and assignments:
+            home = self.region_map.home_of_nodes(assignments.values())
+            return self.region_controller(home).monitor
         return self._monitor
 
     def startup_probe(self, monitor: NetMonitor) -> int:
@@ -259,15 +429,48 @@ class ControlPlane:
                 f"app {app!r} is already managed by this control plane"
             )
         self._controllers[app] = controller
+        if self.region_map is not None:
+            self._assign_home(controller)
         interval = controller.config.probe.headroom_interval_s
         if interval not in self._tasks:
             self._tasks[interval] = self.engine.every(
                 interval, lambda interval=interval: self.run_epoch(interval)
             )
 
+    def _assign_home(
+        self, controller: BandwidthController, cause: Optional[int] = None
+    ) -> None:
+        """(Re)home a tenant in the region hosting most of its pods.
+
+        Homing follows the pods: after a cross-region handoff shifts the
+        majority, the tenant's control loop — and its region-scoped
+        monitor — move with them.
+        """
+        app = controller.app
+        deployment = self.orchestrator.deployment(app)
+        home = self.region_map.home_of_nodes(deployment.bindings.values())
+        previous = self._home_region.get(app)
+        if previous == home:
+            return
+        self._home_region[app] = home
+        region = self.region_controller(home)
+        controller.region = region
+        controller.monitor = region.monitor
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "region.assigned",
+                self.netem.now,
+                app=app,
+                cause=cause,
+                region=home,
+                previous=previous,
+                nodes=sorted(region.nodes),
+            )
+
     def deregister(self, app: str) -> None:
         """Drop a tenant (e.g. on teardown); idle cadences are disarmed."""
         controller = self._controllers.pop(app, None)
+        self._home_region.pop(app, None)
         if controller is None:
             return
         interval = controller.config.probe.headroom_interval_s
@@ -305,6 +508,8 @@ class ControlPlane:
         ]
         if not group:
             return []
+        if self.region_map is not None:
+            return self._run_fleet_round(group)
         if self.arbiter is not None:
             self.arbiter.begin_epoch(self.netem.now)
         shared_probed: Optional[set[tuple[str, str]]] = (
@@ -322,3 +527,313 @@ class ControlPlane:
         if self.config.ledger_checks:
             check_cluster_ledger(self.orchestrator.cluster)
         return iterations
+
+    # -- the regionalized fleet round --------------------------------------
+
+    def _run_fleet_round(
+        self, group: list[BandwidthController]
+    ) -> list[ControllerIteration]:
+        """One fleet round: every region runs its local observe/plan/act
+        against its eventually-consistent claim view, then the arbiter
+        resolves the round's claim batches and brokers handoffs.
+
+        The recorded decision latency is ``max`` over the regions' plan
+        + act wall time (regions are independent — a real fleet runs
+        them in parallel) plus the arbiter's resolution time.
+        """
+        arbiter = self.arbiter
+        now = self.netem.now
+        arbiter.begin_epoch(now)
+        epoch = arbiter.epoch_count
+        published = arbiter.published_claims()
+        by_region: dict[str, list[BandwidthController]] = {}
+        for controller in group:
+            home = self._home_region.get(controller.app)
+            if home is None:
+                self._assign_home(controller)
+                home = self._home_region[controller.app]
+            by_region.setdefault(home, []).append(controller)
+        iterations: list[ControllerIteration] = []
+        region_decision = 0.0
+        batch_events: dict[str, int] = {}
+        for name in sorted(by_region):
+            region = self.region_controller(name)
+            tenants = by_region[name]
+            region.begin_round(epoch, published)
+            shared_probed: Optional[set[tuple[str, str]]] = (
+                set() if self.config.probe_sharing else None
+            )
+            for controller in tenants:
+                controller.observe(shared_probed=shared_probed)
+            started = perf_counter()
+            ranked = sorted(
+                ((controller.plan(), controller) for controller in tenants),
+                key=lambda pair: (-pair[0], pair[1].app),
+            )
+            for severity, controller in ranked:
+                region.set_acting_context(controller.app, severity)
+                iterations.append(controller.act(region))
+            region.clear_acting_context()
+            batch = region.drain_batch()
+            arbiter.submit_batch(batch)
+            if self.tracer.enabled and batch:
+                batch_events[name] = self.tracer.emit(
+                    "claim.batch",
+                    now,
+                    epoch=epoch,
+                    region=name,
+                    claims=[
+                        {"app": c.app, "node": c.node, "severity": c.severity}
+                        for c in batch
+                    ],
+                )
+            for conflict in region.drain_conflicts():
+                arbiter.record_conflict(*conflict)
+            decision = perf_counter() - started
+            region_decision = max(region_decision, decision)
+            stats = RegionRoundStats(
+                region=name,
+                epoch=epoch,
+                tenants=len(tenants),
+                decision_seconds=decision,
+                claims=len(batch),
+                handoffs_requested=region.queued_handoffs,
+                max_severity=ranked[0][0] if ranked else 0.0,
+            )
+            self.round_stats.append(stats)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "region.epoch",
+                    now,
+                    epoch=epoch,
+                    region=name,
+                    tenants=len(tenants),
+                    claims=len(batch),
+                    handoffs=stats.handoffs_requested,
+                    max_severity=stats.max_severity,
+                )
+        started = perf_counter()
+        self._resolve_claims(epoch, now, batch_events)
+        self._broker_handoffs()
+        self.epoch_decision_seconds.append(
+            region_decision + (perf_counter() - started)
+        )
+        if self.config.ledger_checks:
+            check_cluster_ledger(self.orchestrator.cluster)
+        return iterations
+
+    def _resolve_claims(
+        self,
+        epoch: int,
+        now: float,
+        batch_events: Optional[dict[str, int]] = None,
+    ) -> None:
+        """Arbiter resolution: order the round's claim batches, record
+        cross-region collisions, publish the winners."""
+        collisions = self.arbiter.resolve(now)
+        if self.tracer.enabled:
+            batch_events = batch_events or {}
+            for loser, winner in collisions:
+                self.tracer.emit(
+                    "claim.conflict",
+                    now,
+                    app=loser.app,
+                    epoch=epoch,
+                    cause=batch_events.get(loser.region),
+                    node=loser.node,
+                    loser_region=loser.region,
+                    winner_app=winner.app,
+                    winner_region=winner.region,
+                    loser_severity=loser.severity,
+                    winner_severity=winner.severity,
+                )
+
+    # -- two-phase cross-region handoffs -----------------------------------
+
+    def _broker_handoffs(self) -> None:
+        """Review the round's handoff requests in fleet claim order."""
+        requests: list[HandoffRequest] = []
+        for name in sorted(self._regions):
+            requests.extend(self._regions[name].drain_handoffs())
+        requests.sort(
+            key=lambda r: (
+                -r.severity,
+                r.epoch,
+                r.source_region,
+                r.app,
+                r.component,
+            )
+        )
+        for request in requests:
+            self._review_handoff(request)
+
+    def _review_handoff(
+        self, request: HandoffRequest, *, synchronous: bool = False
+    ) -> None:
+        """Phase 1+2: the arbiter checks its board and releases the
+        source's stake; the destination admit runs one control RTT
+        later (immediately when ``synchronous`` or the RTT is zero)."""
+        arbiter = self.arbiter
+        now = self.netem.now
+        arbiter.handoffs.append(request)
+        held = arbiter.board_claim(request.target_node)
+        if held is not None and (
+            held.app != request.app or held.component != request.component
+        ):
+            request.phase = "denied"
+            request.completed_at = now
+            request.note = (
+                f"target held by {held.app!r} ({held.region})"
+            )
+            arbiter.record_conflict(
+                now, request.app, request.component, request.target_node, None
+            )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "handoff.denied",
+                    now,
+                    app=request.app,
+                    cause=request.request_event,
+                    component=request.component,
+                    node=request.target_node,
+                    holder_app=held.app,
+                    holder_region=held.region,
+                )
+            self._settle_handoff(request)
+            return
+        request.phase = "released"
+        request.released_at = now
+        if self.tracer.enabled:
+            request.release_event = self.tracer.emit(
+                "handoff.released",
+                now,
+                app=request.app,
+                cause=request.request_event,
+                component=request.component,
+                source_region=request.source_region,
+                target_region=request.target_region,
+                source_node=request.source_node,
+                target_node=request.target_node,
+            )
+        arbiter.reserve_for_handoff(request)
+        delay = self.config.handoff_rtt_s
+        if synchronous or delay <= 0:
+            self._admit_handoff(request)
+        else:
+            self.engine.schedule_in(
+                delay, lambda request=request: self._admit_handoff(request)
+            )
+
+    def _admit_handoff(self, request: HandoffRequest) -> None:
+        """Phase 3: the destination region admits (or aborts) the move.
+
+        The only ledger mutation is the single atomic
+        ``Orchestrator.migrate`` below, so ``check_cluster_ledger``
+        holds before, between, and after every handoff phase.
+        """
+        if request.phase != "released":
+            return
+        now = self.netem.now
+        app = request.app
+        controller = self._controllers.get(app)
+        abort_note: Optional[str] = None
+        if controller is None:
+            abort_note = "tenant deregistered during handoff"
+        else:
+            deployment = self.orchestrator.deployment(app)
+            if deployment.node_of(request.component) != request.source_node:
+                abort_note = "component moved during handoff"
+            elif request.target_node in self.netem.topology.down_nodes:
+                abort_note = "target node went down"
+            else:
+                refusal = self.orchestrator.can_admit(
+                    app, request.component, request.target_node
+                )
+                if refusal is not None:
+                    abort_note = f"destination cannot admit: {refusal}"
+        if abort_note is None:
+            restart = controller.migration_restart_s(
+                request.component, request.target_node
+            )
+            admit_event = None
+            if self.tracer.enabled:
+                admit_event = self.tracer.emit(
+                    "handoff.admitted",
+                    now,
+                    app=app,
+                    cause=request.release_event,
+                    component=request.component,
+                    target_region=request.target_region,
+                    target_node=request.target_node,
+                    restart_s=restart,
+                )
+            request.phase = "admitted"
+            request.admitted_at = now
+            try:
+                self.orchestrator.migrate(
+                    app,
+                    request.component,
+                    request.target_node,
+                    reason=request.reason,
+                    restart_override_s=restart,
+                    trace_cause=admit_event,
+                )
+            except MigrationError as error:
+                abort_note = str(error)
+            else:
+                request.phase = "committed"
+                request.completed_at = now
+                controller.note_external_migration(request.component, now)
+                controller.binding.sync_flows()
+                self.engine.schedule_in(
+                    restart + 1e-6, controller.binding.sync_flows
+                )
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "handoff.committed",
+                        now,
+                        app=app,
+                        cause=admit_event,
+                        component=request.component,
+                        source_region=request.source_region,
+                        target_region=request.target_region,
+                        node=request.target_node,
+                        latency_s=request.latency_s,
+                    )
+                self._settle_handoff(request)
+                self._assign_home(controller, cause=request.release_event)
+                if self.config.ledger_checks:
+                    check_cluster_ledger(self.orchestrator.cluster)
+                return
+        request.phase = "aborted"
+        request.completed_at = now
+        request.note = abort_note
+        self.arbiter.release_handoff_reservation(request)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "handoff.aborted",
+                now,
+                app=app,
+                cause=request.release_event or request.request_event,
+                component=request.component,
+                target_node=request.target_node,
+                note=abort_note,
+            )
+        self._settle_handoff(request)
+        if self.config.ledger_checks:
+            check_cluster_ledger(self.orchestrator.cluster)
+
+    def _settle_handoff(self, request: HandoffRequest) -> None:
+        region = self._regions.get(request.source_region)
+        if region is not None:
+            region.handoff_settled(request)
+
+    def broker_recovery_handoff(
+        self, request: HandoffRequest
+    ) -> Optional[str]:
+        """Run the full two-phase handoff synchronously for a crash
+        recovery; returns the granted node (None when denied/aborted)."""
+        self._review_handoff(request, synchronous=True)
+        return (
+            request.target_node if request.phase == "committed" else None
+        )

@@ -248,6 +248,7 @@ class MigrationPlanner:
         netem: NetworkEmulator,
         *,
         exclude: Optional[set[str]] = None,
+        allow: Optional[frozenset[str]] = None,
         achieved_mbps_of: Optional[Callable[[str, str], float]] = None,
         tracer: Optional[TracerBase] = None,
         trace_cause: Optional[int] = None,
@@ -264,7 +265,9 @@ class MigrationPlanner:
         edges outright nor beat the component's *currently achieved*
         aggregate bandwidth are rejected — a move that pays the restart
         cost only to violate again from the new node is thrash, not
-        mitigation.  Returns None when no node qualifies.
+        mitigation.  ``allow`` restricts candidates to a node set (a
+        region's jurisdiction); ``exclude`` still removes nodes from
+        within it.  Returns None when no node qualifies.
         """
         current = deployment.node_of(component)
         spec = self.dag.component(component)
@@ -285,6 +288,8 @@ class MigrationPlanner:
         for node in cluster.schedulable_nodes():
             name = node.node_name
             if name == current or name in excluded:
+                continue
+            if allow is not None and name not in allow:
                 continue
             if not node.can_fit(spec.resources):
                 continue

@@ -21,8 +21,8 @@ application traffic.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
 
 from ..config import ProbeConfig
 from ..errors import RoutingError, TopologyError
@@ -48,12 +48,46 @@ class ProbeResult:
     headroom_ok: Optional[bool] = None
 
 
+@dataclass
+class MonitorCaches:
+    """Probe caches shared between a fleet monitor and its region views.
+
+    Link *capacity* is a physical fact, so the capacity cache and the
+    full-probe cooldown clock are keyed on the directed link and shared
+    fleet-wide: a region that full-probed a link spares every other
+    view the flood.  *Headroom* measurements and probe-event provenance
+    are observations made by one control loop, so they are keyed on
+    ``(region, src, dst)`` — a region-scoped view never serves (or
+    poisons) another region's headroom entry, and the fleet-wide
+    monitor (region ``""``) keeps its own namespace.
+    """
+
+    capacity: dict[tuple[str, str], float] = field(default_factory=dict)
+    capacity_time: dict[tuple[str, str], float] = field(default_factory=dict)
+    last_full_probe: dict[tuple[str, str], float] = field(default_factory=dict)
+    headroom: dict[tuple[str, str, str], ProbeResult] = field(
+        default_factory=dict
+    )
+    probe_event_ids: dict[tuple[str, str, str], int] = field(
+        default_factory=dict
+    )
+
+
 class NetMonitor:
     """Per-mesh bandwidth monitor with capacity caching.
 
     Args:
         netem: the network emulator to probe and account against.
         config: probing parameters.
+        region: label of the region this monitor serves; the empty
+            string is the fleet-wide (unscoped) monitor.  Region labels
+            namespace the headroom cache, never the capacity cache.
+        scope: restrict probing to links with *both* endpoints in this
+            node set (None = the whole mesh).  Startup floods and
+            path-link enumeration stay inside the scope, so a region
+            view never injects cross-region probe traffic.
+        caches: share probe caches with another monitor (used by
+            :meth:`region_view`); defaults to a private set.
     """
 
     def __init__(
@@ -62,22 +96,57 @@ class NetMonitor:
         config: Optional[ProbeConfig] = None,
         *,
         tracer: Optional[TracerBase] = None,
+        region: str = "",
+        scope: Optional[Iterable[str]] = None,
+        caches: Optional[MonitorCaches] = None,
     ) -> None:
         self.netem = netem
         self.config = config if config is not None else ProbeConfig()
         self.tracer = resolve_tracer(tracer)
-        self._capacity_cache: dict[tuple[str, str], float] = {}
-        self._cache_time: dict[tuple[str, str], float] = {}
-        self._last_full_probe: dict[tuple[str, str], float] = {}
-        self._last_headroom: dict[tuple[str, str], ProbeResult] = {}
-        #: Flight-recorder id of the last probe event per link, so
-        #: downstream decisions (violations) can cite the measurement
+        self.region = region
+        self.scope: Optional[frozenset[str]] = (
+            frozenset(scope) if scope is not None else None
+        )
+        self._caches = caches if caches is not None else MonitorCaches()
+        self._capacity_cache = self._caches.capacity
+        self._cache_time = self._caches.capacity_time
+        self._last_full_probe = self._caches.last_full_probe
+        #: Headroom results keyed (region, src, dst): views of different
+        #: regions never alias each other's entries.
+        self._last_headroom = self._caches.headroom
+        #: Flight-recorder id of the last probe event per (region, link),
+        #: so downstream decisions (violations) can cite the measurement
         #: that triggered them even across headroom-cache reuse.
-        self._probe_event_ids: dict[tuple[str, str], int] = {}
+        self._probe_event_ids = self._caches.probe_event_ids
         self.full_probe_count = 0
         self.headroom_probe_count = 0
         self.headroom_cache_hits = 0
         self.probe_log: list[ProbeResult] = []
+
+    def region_view(
+        self, region: str, nodes: Iterable[str]
+    ) -> "NetMonitor":
+        """A region-scoped view sharing this monitor's probe caches.
+
+        The view probes only links inside ``nodes``, keeps its own
+        probe counters (per-region overhead accounting), and namespaces
+        its headroom cache under ``region`` while sharing the fleet's
+        capacity cache and full-probe cooldowns.
+        """
+        return NetMonitor(
+            self.netem,
+            self.config,
+            tracer=self.tracer,
+            region=region,
+            scope=nodes,
+            caches=self._caches,
+        )
+
+    def in_scope(self, src: str, dst: str) -> bool:
+        """Whether a directed link lies inside this monitor's scope."""
+        return self.scope is None or (
+            src in self.scope and dst in self.scope
+        )
 
     # -- probe traffic injection ---------------------------------------------
 
@@ -120,7 +189,7 @@ class NetMonitor:
         )
         self.probe_log.append(result)
         if self.tracer.enabled:
-            self._probe_event_ids[key] = self.tracer.emit(
+            self._probe_event_ids[(self.region, src, dst)] = self.tracer.emit(
                 "probe.max_capacity",
                 now,
                 src=src,
@@ -151,6 +220,8 @@ class NetMonitor:
         """
         probed = 0
         for src, dst, _ in self.netem.topology.iter_directed_links():
+            if not self.in_scope(src, dst):
+                continue  # region views never flood another region
             if force or self.full_probe_allowed(src, dst):
                 self.full_probe(src, dst)
                 probed += 1
@@ -177,7 +248,7 @@ class NetMonitor:
         measurement.  Cache hits are not probe events: they are counted
         in ``headroom_cache_hits`` and do not enter ``probe_log``.
         """
-        key = (src, dst)
+        key = (self.region, src, dst)
         if reuse_s is None:
             reuse_s = self.config.headroom_reuse_s
         if reuse_s > 0:
@@ -188,7 +259,9 @@ class NetMonitor:
                     recent,
                     headroom_ok=recent.available_mbps >= headroom_mbps,
                 )
-        cached = self._capacity_cache.get(key, self.netem.capacity(src, dst))
+        cached = self._capacity_cache.get(
+            (src, dst), self.netem.capacity(src, dst)
+        )
         probe_rate = min(
             cached * self.config.headroom_probe_fraction, headroom_mbps
         )
@@ -220,9 +293,10 @@ class NetMonitor:
         return result
 
     def probe_event_id(self, src: str, dst: str) -> Optional[int]:
-        """Trace-event id of the link's most recent probe (None when the
-        link was never probed under an enabled tracer)."""
-        return self._probe_event_ids.get((src, dst))
+        """Trace-event id of the link's most recent probe *by this
+        monitor's region* (None when the link was never probed under an
+        enabled tracer)."""
+        return self._probe_event_ids.get((self.region, src, dst))
 
     # -- cached views (what the scheduler/controller believe) ---------------------
 
@@ -289,7 +363,13 @@ class NetMonitor:
             return []
         if len(path) == 1:
             return []
-        return list(zip(path, path[1:]))
+        links = list(zip(path, path[1:]))
+        if self.scope is None:
+            return links
+        # A region view only probes the links it owns; segments of a
+        # path that cross into another region are that region's to
+        # observe.
+        return [(a, b) for a, b in links if self.in_scope(a, b)]
 
     def validate_link(self, src: str, dst: str) -> None:
         if not self.netem.topology.has_link(src, dst):

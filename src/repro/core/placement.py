@@ -47,16 +47,22 @@ class NodeRank:
 def rank_nodes(
     cluster: ClusterState,
     netem: Optional[NetworkEmulator] = None,
+    *,
+    allow: Optional[frozenset[str]] = None,
 ) -> list[str]:
     """Rank schedulable nodes best-first (§3.2.1).
 
     Nodes with more aggregate link capacity are preferred, then more
     CPU, then more memory; names break ties deterministically.  Without
     a network emulator (pure resource scheduling) link capacity is 0 for
-    every node and the ranking degenerates to CPU/memory.
+    every node and the ranking degenerates to CPU/memory.  ``allow``
+    restricts the ranking to a subset of nodes (a region's
+    jurisdiction).
     """
     ranks = []
     for node in cluster.schedulable_nodes():
+        if allow is not None and node.node_name not in allow:
+            continue
         if netem is not None:
             link_capacity = netem.topology.total_link_capacity(
                 node.node_name, netem.now
@@ -83,6 +89,9 @@ class PlacementEngine:
         netem: optional network emulator for bandwidth-aware preferences.
         headroom_fraction: spare link fraction kept when checking
             bandwidth feasibility of a candidate node.
+        allow: restrict packing to these nodes (a region's
+            jurisdiction); pinned pods may still name nodes outside it,
+            since an explicit pin outranks the region boundary.
         tracer: flight recorder for ``placement.decision`` events.
             Deliberately *not* resolved from the process default: shadow
             placements (``explain_placement`` replays the pipeline on a
@@ -95,11 +104,13 @@ class PlacementEngine:
         netem: Optional[NetworkEmulator] = None,
         *,
         headroom_fraction: float = 0.0,
+        allow: Optional[frozenset[str]] = None,
         tracer: Optional[TracerBase] = None,
     ) -> None:
         self.cluster = cluster
         self.netem = netem
         self.headroom_fraction = headroom_fraction
+        self.allow = allow
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def place(
@@ -129,7 +140,7 @@ class PlacementEngine:
             raise InsufficientCapacityError(
                 "order must be a permutation of the pod names"
             )
-        ranking = rank_nodes(self.cluster, self.netem)
+        ranking = rank_nodes(self.cluster, self.netem, allow=self.allow)
         assignments: dict[str, str] = {}
         cursor = 0
         for name in order:

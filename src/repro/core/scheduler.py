@@ -55,6 +55,9 @@ class BassScheduler:
             developer pick whichever suits the application's data flow).
         headroom_fraction: spare link fraction preserved when checking
             candidate nodes' bandwidth feasibility.
+        allow: restrict packing to these nodes — a regionalized fleet
+            schedules each tenant inside its home region's jurisdiction
+            (explicitly pinned pods may still land outside it).
 
     Example:
         >>> # assignments = BassScheduler("bfs").schedule(dag, cluster, netem)
@@ -65,12 +68,14 @@ class BassScheduler:
         heuristic: str = "longest_path",
         *,
         headroom_fraction: float = 0.0,
+        allow: Optional[frozenset[str]] = None,
         tracer: Optional[TracerBase] = None,
     ) -> None:
         if heuristic not in ("bfs", "longest_path", "hybrid"):
             raise DagError(f"unknown heuristic {heuristic!r}")
         self.heuristic = heuristic
         self.headroom_fraction = headroom_fraction
+        self.allow = allow
         self.tracer = resolve_tracer(tracer)
         self.last_dag_processing_s: Optional[float] = None
 
@@ -111,6 +116,7 @@ class BassScheduler:
             cluster,
             netem,
             headroom_fraction=self.headroom_fraction,
+            allow=self.allow,
             tracer=self.tracer,
         )
         return engine.place(dag.to_pods(), order, trace_cause=plan_event)

@@ -202,7 +202,9 @@ def deploy_app(
     binding.sync_flows()
     cp = env.control_plane
     if cp is not None:
-        monitor = cp.monitor_for(config.probe)
+        # Assignments let a regionalized plane route the tenant to its
+        # home region's scoped monitor (startup flood stays in-region).
+        monitor = cp.monitor_for(config.probe, assignments=assignments)
         cp.startup_probe(monitor)
     else:
         monitor = NetMonitor(env.netem, config.probe, tracer=env.tracer)

@@ -19,6 +19,14 @@ Tenants here are deliberately tiny: a :class:`StreamPairApp` is one
 minimal workload that exercises probing, violation detection, and
 migration.  All tenants share one path so probe deduplication and
 target contention are maximal — the worst case for the control plane.
+
+All scenarios accept ``fleet=FleetConfig(regions=N)`` to run on the
+regionalized (sharded) control plane; a one-region fleet makes exactly
+the decisions the single-loop plane makes (parity-pinned by
+``tests/integration/test_fleet.py``).  The regionalized scenarios
+proper — backbone meshes, forced cross-region handoffs — live in
+:mod:`repro.experiments.fleet` and reuse :class:`StreamPairApp` and
+:func:`fleet_probe_stats` from here.
 """
 
 from __future__ import annotations
@@ -103,7 +111,7 @@ class MultiTenantResult:
         return sum(self.migrations_by_app.values())
 
 
-def _fleet_probe_stats(
+def fleet_probe_stats(
     handles: list[AppHandle], duration_s: float
 ) -> tuple[int, int, int, float]:
     """(full, headroom, cache hits, events/hour) over distinct monitors."""
@@ -181,7 +189,7 @@ def multi_tenant_mesh(
         )
     run_timeline(env, duration_s, events=events)
 
-    full, headroom, hits, per_hour = _fleet_probe_stats(handles, duration_s)
+    full, headroom, hits, per_hour = fleet_probe_stats(handles, duration_s)
     arbiter = env.control_plane.arbiter if env.control_plane else None
     return MultiTenantResult(
         tenants=tenants,

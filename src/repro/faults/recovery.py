@@ -104,7 +104,16 @@ class RecoveryCoordinator:
             arbiter.begin_epoch(now)
         down = netem.topology.down_nodes
         round_actions: list[RecoveryAction] = []
-        for app in sorted(self.cp.tenants):
+        tenants = sorted(self.cp.tenants)
+        if self.cp.regionalized:
+            # Recovery routes through the owning region: tenants are
+            # processed region by region, and each pod is re-placed
+            # inside its home region first (cross-region only via the
+            # two-phase handoff, below).
+            tenants.sort(
+                key=lambda app: (self.cp.home_region(app) or "", app)
+            )
+        for app in tenants:
             controller = self.cp.controller(app)
             deployment = orchestrator.deployment(app)
             lost = deployment.pods_on(node)
@@ -124,6 +133,13 @@ class RecoveryCoordinator:
             )
             plan_event = None
             if self.tracer.enabled:
+                # The region key only appears on a regionalized plane,
+                # keeping legacy traces byte-identical.
+                extra = (
+                    {"region": self.cp.home_region(app)}
+                    if self.cp.regionalized
+                    else {}
+                )
                 plan_event = self.tracer.emit(
                     "recovery.plan",
                     now,
@@ -132,6 +148,7 @@ class RecoveryCoordinator:
                     node=node,
                     pods=list(lost),
                     detection_latency_s=detection_latency_s,
+                    **extra,
                 )
             for component in lost:
                 action = self._replace_one(
@@ -168,12 +185,19 @@ class RecoveryCoordinator:
             else set()
         )
         planner = controller.planner
+        region = (
+            self.cp.region_controller(self.cp.home_region(app))
+            if self.cp.regionalized
+            else None
+        )
+        allow = region.nodes if region is not None else None
         target = planner.select_target(
             component,
             deployment,
             orchestrator.cluster,
             netem,
             exclude=(down | claimed) or None,
+            allow=allow,
             tracer=self.tracer,
             trace_cause=plan_event,
         )
@@ -184,6 +208,7 @@ class RecoveryCoordinator:
                 orchestrator.cluster,
                 netem,
                 exclude=down or None,
+                allow=allow,
             )
             if preferred is not None and preferred != target:
                 arbiter.record_conflict(
@@ -197,6 +222,42 @@ class RecoveryCoordinator:
                         component=component,
                         preferred=preferred,
                         granted=target,
+                    )
+        if target is None and region is not None:
+            # No surviving in-region node can take the pod: escalate
+            # across the region boundary through the two-phase handoff
+            # (brokered synchronously — a dead pod cannot wait out the
+            # control RTT).  Crash recovery claims outrank bandwidth
+            # claims, hence the maximum severity.
+            remote = planner.select_target(
+                component,
+                deployment,
+                orchestrator.cluster,
+                netem,
+                exclude=(down | claimed | set(region.nodes)) or None,
+            )
+            if remote is not None:
+                request = region.queue_handoff(
+                    time=now,
+                    app=app,
+                    component=component,
+                    source_node=node,
+                    target_node=remote,
+                    severity=2.0,
+                    cause=plan_event,
+                    reason="crash recovery",
+                    enqueue=False,
+                )
+                granted = self.cp.broker_recovery_handoff(request)
+                if granted is not None:
+                    if arbiter is not None:
+                        arbiter.claim(now, app, component, granted)
+                    return RecoveryAction(
+                        time=now,
+                        app=app,
+                        component=component,
+                        from_node=node,
+                        to_node=granted,
                     )
         if target is None:
             if self.tracer.enabled:

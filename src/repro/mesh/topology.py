@@ -453,6 +453,65 @@ def full_mesh_topology(
     return topo
 
 
+def regional_mesh(
+    n_regions: int = 2,
+    nodes_per_region: int = 3,
+    *,
+    intra_capacity_mbps: float = 40.0,
+    backbone_capacity_mbps: float = 15.0,
+    cpu_cores: float = 8.0,
+    memory_mb: float = 8192.0,
+) -> MeshTopology:
+    """A community mesh of dense neighbourhoods joined by a thin backbone.
+
+    Each region is a full mesh of ``nodes_per_region`` workers named
+    ``r{i}n{j}`` (``j`` starting at 1) with fast intra-region links;
+    region gateways (``r{i}n1``) form a backbone ring (a chain for two
+    regions) of slower, higher-latency links.  This is the topology the
+    regionalized control plane is built for: probing floods stay cheap
+    inside a region, and only handoffs cross the backbone.
+    """
+    if n_regions < 1:
+        raise TopologyError("regional mesh needs at least 1 region")
+    if nodes_per_region < 1:
+        raise TopologyError("regional mesh needs at least 1 node per region")
+    topo = MeshTopology()
+    for i in range(n_regions):
+        names = [f"r{i}n{j + 1}" for j in range(nodes_per_region)]
+        for name in names:
+            topo.add_node(
+                MeshNode(name, cpu_cores=cpu_cores, memory_mb=memory_mb)
+            )
+        for a_index, a in enumerate(names):
+            for b in names[a_index + 1 :]:
+                topo.add_link(
+                    a, b, capacity_mbps=intra_capacity_mbps, latency_ms=2.0
+                )
+    gateways = [f"r{i}n1" for i in range(n_regions)]
+    for i in range(n_regions):
+        a, b = gateways[i], gateways[(i + 1) % n_regions]
+        if a == b or topo.has_link(a, b):
+            continue
+        topo.add_link(
+            a, b, capacity_mbps=backbone_capacity_mbps, latency_ms=8.0
+        )
+    return topo
+
+
+def regional_specs(
+    n_regions: int, nodes_per_region: int
+) -> tuple[tuple[str, tuple[str, ...]], ...]:
+    """Explicit region specs matching :func:`regional_mesh`'s naming —
+    the shape ``FleetConfig.region_specs`` expects."""
+    return tuple(
+        (
+            f"region{i}",
+            tuple(f"r{i}n{j + 1}" for j in range(nodes_per_region)),
+        )
+        for i in range(n_regions)
+    )
+
+
 def star_topology(
     n_leaves: int,
     capacity_mbps: float = 100.0,

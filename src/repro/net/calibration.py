@@ -1,0 +1,140 @@
+"""Calibrating the fairness-solver auto-selector from measured data.
+
+``max_min_allocation(solver="auto")`` dispatches between the indexed
+and vectorized solvers on instance size.  The original thresholds were
+hand-tuned; this module *fits* them from the perf harness's tracked
+measurements (``BENCH_emulator.json``), so the cutover tracks where the
+two implementations actually cross on the machine class the benchmarks
+run on.
+
+Both solvers' solve time follows a power law in the active flow count
+(the round loop is ~linear per round, round count grows slowly), so a
+least-squares line fit in log-log space summarizes each solver with two
+parameters; the calibrated flow cutover is where the fitted lines
+intersect — below it the vectorized solver's array setup dominates,
+above it the NumPy round loop wins.  The entries threshold keeps the
+historical entries-per-flow ratio (:data:`ENTRIES_PER_FLOW` hops per
+flow), so both thresholds move together.
+
+The constants baked into :mod:`repro.net.fairness` are the output of
+:func:`calibrate` over the checked-in benchmark data;
+``tests/unit/test_solver_calibration.py`` guards that they match a
+fresh fit, so regenerating ``BENCH_emulator.json`` with materially
+different numbers fails loudly instead of silently stale-tuning.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+#: Path-entry threshold per flow of the cutover (the historical
+#: 192-entries / 48-flows ratio — ~4 hops per flow, the shape of the
+#: benchmark's random meshes).
+ENTRIES_PER_FLOW = 4
+
+#: The checked-in measurement file, relative to the repo root.
+BENCH_FILE = "BENCH_emulator.json"
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``time_ms ≈ exp(intercept) * flows ** exponent``."""
+
+    intercept: float
+    exponent: float
+
+    def predict_ms(self, flows: float) -> float:
+        return math.exp(self.intercept + self.exponent * math.log(flows))
+
+
+@dataclass(frozen=True)
+class SolverCalibration:
+    """The fitted auto-dispatch thresholds and their provenance."""
+
+    min_flows: int
+    min_entries: int
+    indexed: PowerLawFit
+    vectorized: PowerLawFit
+    #: (flows, indexed_ms, vectorized_ms) points the fit consumed.
+    points: tuple[tuple[int, float, float], ...]
+
+
+def fit_power_law(
+    flows: Sequence[float], times_ms: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares line fit in log-log space (no NumPy dependency —
+    the fit also runs in docs/CI contexts that only have stdlib)."""
+    if len(flows) != len(times_ms) or len(flows) < 2:
+        raise ValueError("need >= 2 (flows, time) points to fit")
+    xs = [math.log(f) for f in flows]
+    ys = [math.log(t) for t in times_ms]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx <= 0:
+        raise ValueError("flow counts must not all be equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    exponent = sxy / sxx
+    intercept = mean_y - exponent * mean_x
+    return PowerLawFit(intercept=intercept, exponent=exponent)
+
+
+def crossover_flows(indexed: PowerLawFit, vectorized: PowerLawFit) -> float:
+    """Flow count where the fitted vectorized line crosses below the
+    indexed line."""
+    if indexed.exponent <= vectorized.exponent:
+        raise ValueError(
+            "indexed solve time must grow faster than vectorized for a "
+            "crossover to exist"
+        )
+    return math.exp(
+        (vectorized.intercept - indexed.intercept)
+        / (indexed.exponent - vectorized.exponent)
+    )
+
+
+def calibration_points(
+    bench: Mapping,
+) -> tuple[tuple[int, float, float], ...]:
+    """Extract (flows, indexed_ms, vectorized_ms) from a
+    ``BENCH_emulator.json``-shaped payload, sorted by flow count."""
+    points = []
+    for case in bench.get("cases", {}).values():
+        solve = case.get("solve_ms", {})
+        if "indexed" in solve and "vectorized" in solve:
+            points.append(
+                (int(case["flows"]), solve["indexed"], solve["vectorized"])
+            )
+    points.sort()
+    return tuple(points)
+
+
+def calibrate(bench: Mapping) -> SolverCalibration:
+    """Fit the auto-dispatch thresholds from tracked measurements."""
+    points = calibration_points(bench)
+    if len(points) < 2:
+        raise ValueError(
+            f"{BENCH_FILE} must track >= 2 cases with indexed and "
+            "vectorized solve times"
+        )
+    flows = [p[0] for p in points]
+    indexed = fit_power_law(flows, [p[1] for p in points])
+    vectorized = fit_power_law(flows, [p[2] for p in points])
+    min_flows = max(1, round(crossover_flows(indexed, vectorized)))
+    return SolverCalibration(
+        min_flows=min_flows,
+        min_entries=ENTRIES_PER_FLOW * min_flows,
+        indexed=indexed,
+        vectorized=vectorized,
+        points=points,
+    )
+
+
+def calibrate_from_file(path: str | Path) -> SolverCalibration:
+    with open(path) as handle:
+        return calibrate(json.load(handle))

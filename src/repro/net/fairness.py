@@ -44,8 +44,13 @@ _EPSILON = 1e-9
 
 #: Auto-dispatch thresholds: the vectorized solver wins once the round
 #: loop pushes enough work through NumPy to amortize array setup.
-_VECTOR_MIN_FLOWS = 48
-_VECTOR_MIN_ENTRIES = 192
+#: Calibrated from BENCH_emulator.json's tracked solve times — the
+#: log-log power-law fits of the indexed and vectorized solvers cross
+#: at ~134 flows (see repro.net.calibration; the guard test
+#: tests/unit/test_solver_calibration.py keeps these in sync with a
+#: fresh fit of the checked-in data).
+_VECTOR_MIN_FLOWS = 134
+_VECTOR_MIN_ENTRIES = 536
 
 SOLVERS = ("auto", "reference", "indexed", "vectorized")
 
@@ -322,7 +327,9 @@ def auto_solver(active_flows: Sequence[FlowDemand]) -> str:
     Small instances stay on the indexed solver: below the thresholds the
     vectorized solver's array setup costs more than the whole solve (the
     perf harness's ``n005_f010`` case runs ~4x slower vectorized), so
-    auto must never pick it there.  ``active_flows`` is the post-
+    auto must never pick it there.  The thresholds are calibrated from
+    the perf harness's measurements rather than hand-tuned — see
+    :mod:`repro.net.calibration`.  ``active_flows`` is the post-
     partition active set — loopback and zero-demand flows are granted
     before dispatch and never count toward the thresholds.
     """

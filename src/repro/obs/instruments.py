@@ -168,7 +168,11 @@ class StandardInstruments:
     * ``bass_recoveries_total`` / ``bass_recovery_failures_total`` —
       crash-evicted pods re-placed (or not) on surviving nodes;
     * ``bass_arbiter_conflicts_total`` — fleet-arbiter contention
-      across both migration and recovery deflections;
+      across migration deflections, recovery deflections, cross-region
+      claim collisions, and denied handoffs;
+    * ``bass_handoffs_total{phase}`` /
+      ``bass_handoff_latency_seconds`` — cross-region handoffs by
+      outcome and the request→commit latency distribution;
     * ``bass_sweep_cells_total{status}`` — sweep-runner cells by
       outcome (executed / cached / failed), with
       ``bass_sweep_cell_seconds`` timing fresh executions and the
@@ -227,6 +231,25 @@ class StandardInstruments:
             registry.counter("bass_recovery_failures_total").inc(time)
         elif kind == "recovery.deflected":
             registry.counter("bass_arbiter_conflicts_total").inc(time)
+        elif kind == "claim.conflict":
+            registry.counter("bass_arbiter_conflicts_total").inc(time)
+        elif kind == "handoff.requested":
+            registry.counter("bass_handoffs_total", phase="requested").inc(
+                time
+            )
+        elif kind == "handoff.denied":
+            registry.counter("bass_handoffs_total", phase="denied").inc(time)
+            registry.counter("bass_arbiter_conflicts_total").inc(time)
+        elif kind == "handoff.aborted":
+            registry.counter("bass_handoffs_total", phase="aborted").inc(time)
+        elif kind == "handoff.committed":
+            registry.counter("bass_handoffs_total", phase="committed").inc(
+                time
+            )
+            registry.histogram(
+                "bass_handoff_latency_seconds",
+                buckets=(0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0),
+            ).observe(time, event.data.get("latency_s") or 0.0)
         elif kind == "cell.done":
             registry.counter("bass_sweep_cells_total", status="executed").inc(
                 time

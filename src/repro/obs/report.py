@@ -255,6 +255,49 @@ def _describe(event: TraceEvent) -> str:
             f"{prefix}: no surviving node could take "
             f"{data.get('component')} from {data.get('node')}"
         )
+    if event.kind == "region.assigned":
+        previous = data.get("previous")
+        verb = f"re-homed from {previous}" if previous else "homed"
+        return (
+            f"{prefix}: tenant {event.app or '-'} {verb} "
+            f"in region {data.get('region')}"
+        )
+    if event.kind == "claim.conflict":
+        return (
+            f"{prefix}: {data.get('loser_region')}/{event.app or '-'} lost "
+            f"node {data.get('node')} to {data.get('winner_region')}/"
+            f"{data.get('winner_app')} "
+            f"(severity {data.get('loser_severity', float('nan')):.2f} vs "
+            f"{data.get('winner_severity', float('nan')):.2f})"
+        )
+    if event.kind == "handoff.requested":
+        return (
+            f"{prefix}: {data.get('component')} of {event.app or '-'} "
+            f"requested {data.get('source_region')} -> "
+            f"{data.get('target_region')} "
+            f"({data.get('source_node')} -> {data.get('target_node')})"
+        )
+    if event.kind == "handoff.denied":
+        return (
+            f"{prefix}: handoff of {data.get('component')} denied — "
+            f"node {data.get('node')} held by {data.get('holder_app')} "
+            f"({data.get('holder_region')})"
+        )
+    if event.kind == "handoff.committed":
+        latency = data.get("latency_s")
+        latency_text = (
+            f" after {latency:.1f}s" if latency is not None else ""
+        )
+        return (
+            f"{prefix}: {data.get('component')} handed off "
+            f"{data.get('source_region')} -> {data.get('target_region')} "
+            f"onto {data.get('node')}{latency_text}"
+        )
+    if event.kind == "handoff.aborted":
+        return (
+            f"{prefix}: handoff of {data.get('component')} onto "
+            f"{data.get('target_node')} aborted — {data.get('note')}"
+        )
     extras = " ".join(f"{k}={v}" for k, v in sorted(data.items()))
     return f"{prefix}: {extras}" if extras else prefix
 
@@ -381,6 +424,36 @@ def render_report(events: Sequence[TraceEvent]) -> str:
                 f"  detection latency seconds: p50={p50(latencies):.2f} "
                 f"p95={p95(latencies):.2f} p99={p99(latencies):.2f}"
             )
+    if counts.get("handoff.requested"):
+        lines.append(
+            f"  handoffs: {counts.get('handoff.requested', 0)} requested, "
+            f"{counts.get('handoff.committed', 0)} committed, "
+            f"{counts.get('handoff.aborted', 0)} aborted, "
+            f"{counts.get('handoff.denied', 0)} denied"
+        )
+        handoff_latencies = [
+            e.data["latency_s"]
+            for e in events
+            if e.kind == "handoff.committed"
+            and e.data.get("latency_s") is not None
+        ]
+        if handoff_latencies:
+            lines.append(
+                f"  handoff latency seconds: "
+                f"p50={p50(handoff_latencies):.2f} "
+                f"p95={p95(handoff_latencies):.2f} "
+                f"p99={p99(handoff_latencies):.2f}"
+            )
+    arbiter_conflicts = (
+        len(deflections)
+        + counts.get("recovery.deflected", 0)
+        + counts.get("claim.conflict", 0)
+        + counts.get("handoff.denied", 0)
+    )
+    if arbiter_conflicts and (
+        counts.get("claim.conflict") or counts.get("handoff.denied")
+    ):
+        lines.append(f"  arbiter conflicts: {arbiter_conflicts} total")
     if restart_costs:
         lines.append(
             f"  restart seconds: p50={p50(restart_costs):.2f} "

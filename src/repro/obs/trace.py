@@ -56,6 +56,16 @@ EVENT_KINDS = (
     "recovery.plan",  # coordinator planned re-placement of lost pods
     "recovery.deflected",  # arbiter contention changed a recovery target
     "recovery.failed",  # a lost pod could not be re-placed anywhere
+    "region.assigned",  # a tenant was homed (or re-homed) in a region
+    "region.epoch",  # one region finished its round: claims, handoffs
+    "claim.batch",  # a region submitted its round's claim batch
+    "claim.conflict",  # arbiter resolution found a cross-region race
+    "handoff.requested",  # a region asked to migrate across the boundary
+    "handoff.released",  # arbiter accepted; source region released
+    "handoff.denied",  # arbiter ordering gave the target to another claim
+    "handoff.admitted",  # destination region admitted the component
+    "handoff.committed",  # handoff migration executed; ledger clean
+    "handoff.aborted",  # destination could not admit (down/full/moved)
     "sweep.start",  # the sweep runner began fanning cells out
     "cell.done",  # one sweep cell executed (fresh result)
     "cell.cached",  # one sweep cell served from the result cache

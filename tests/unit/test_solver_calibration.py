@@ -1,0 +1,111 @@
+"""Calibration of the fairness-solver auto-selector.
+
+The thresholds baked into ``repro.net.fairness`` are the output of
+``repro.net.calibration.calibrate`` over the checked-in
+``BENCH_emulator.json``; the regeneration guard here fails loudly when
+the tracked measurements drift away from the constants instead of
+letting the cutover go silently stale.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.net import fairness
+from repro.net.calibration import (
+    ENTRIES_PER_FLOW,
+    PowerLawFit,
+    calibrate,
+    calibrate_from_file,
+    calibration_points,
+    crossover_flows,
+    fit_power_law,
+)
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_emulator.json"
+
+
+def test_fit_recovers_exact_power_law():
+    # time = 0.5 * flows ** 1.3, sampled without noise.
+    flows = [8, 32, 128, 512]
+    times = [0.5 * f**1.3 for f in flows]
+    fit = fit_power_law(flows, times)
+    assert fit.exponent == pytest.approx(1.3)
+    assert math.exp(fit.intercept) == pytest.approx(0.5)
+    assert fit.predict_ms(64) == pytest.approx(0.5 * 64**1.3)
+
+
+def test_fit_rejects_degenerate_input():
+    with pytest.raises(ValueError):
+        fit_power_law([10], [1.0])
+    with pytest.raises(ValueError):
+        fit_power_law([10, 20], [1.0])  # length mismatch
+    with pytest.raises(ValueError):
+        fit_power_law([10, 10], [1.0, 2.0])  # no spread in x
+
+
+def test_crossover_is_where_fitted_lines_intersect():
+    indexed = PowerLawFit(intercept=math.log(0.01), exponent=1.5)
+    vectorized = PowerLawFit(intercept=math.log(0.1), exponent=1.0)
+    crossing = crossover_flows(indexed, vectorized)
+    assert indexed.predict_ms(crossing) == pytest.approx(
+        vectorized.predict_ms(crossing)
+    )
+    # Below the crossover the indexed solver is cheaper; above, pricier.
+    assert indexed.predict_ms(crossing / 2) < vectorized.predict_ms(
+        crossing / 2
+    )
+    assert indexed.predict_ms(crossing * 2) > vectorized.predict_ms(
+        crossing * 2
+    )
+
+
+def test_crossover_requires_indexed_to_grow_faster():
+    flat = PowerLawFit(intercept=0.0, exponent=1.0)
+    steep = PowerLawFit(intercept=0.0, exponent=2.0)
+    with pytest.raises(ValueError):
+        crossover_flows(flat, steep)
+
+
+def test_calibration_points_extracts_and_sorts_cases():
+    bench = {
+        "cases": {
+            "big": {
+                "flows": 200,
+                "solve_ms": {"indexed": 4.0, "vectorized": 2.0},
+            },
+            "small": {
+                "flows": 10,
+                "solve_ms": {"indexed": 0.1, "vectorized": 0.4},
+            },
+            "partial": {"flows": 50, "solve_ms": {"indexed": 1.0}},
+        }
+    }
+    assert calibration_points(bench) == ((10, 0.1, 0.4), (200, 4.0, 2.0))
+
+
+def test_calibrate_needs_two_complete_cases():
+    with pytest.raises(ValueError):
+        calibrate({"cases": {}})
+
+
+def test_checked_in_bench_has_calibration_points():
+    with open(BENCH_PATH) as handle:
+        points = calibration_points(json.load(handle))
+    assert len(points) >= 2
+
+
+def test_baked_constants_match_fresh_fit_of_tracked_data():
+    """Regeneration guard: the thresholds in ``repro.net.fairness`` must
+    equal a fresh fit of ``BENCH_emulator.json``.  If regenerating the
+    benchmark moves the crossover, re-run the calibration and update the
+    constants together with the data."""
+    calibration = calibrate_from_file(BENCH_PATH)
+    assert calibration.min_flows == fairness._VECTOR_MIN_FLOWS
+    assert calibration.min_entries == fairness._VECTOR_MIN_ENTRIES
+    assert calibration.min_entries == ENTRIES_PER_FLOW * calibration.min_flows
+    # Sanity on the fit shape the cutover rests on: the indexed solver
+    # grows superlinearly, the vectorized one sublinearly.
+    assert calibration.indexed.exponent > calibration.vectorized.exponent
