@@ -18,6 +18,7 @@ import time
 import pytest
 
 from repro.experiments.migration import fig13_socialnet_migration
+from repro.obs.stream import StreamingSink
 from repro.obs.trace import NULL_TRACER, Tracer, set_default_tracer
 
 from _reporting import fmt, save_table
@@ -96,3 +97,50 @@ def test_tracing_overhead(benchmark):
              "nanoseconds",
     )
     assert events > 0
+
+
+_STREAM_EVENTS = 1_000_000
+_STREAM_WINDOW = 4096
+
+
+def test_streaming_sink_cost_and_residency(tmp_path):
+    """The streaming leg: emit cost within 2x of the in-memory path,
+    and resident events bounded by the ring window under a 1M-event
+    synthetic load (the whole point of the sink)."""
+    _timed_guard_loop(Tracer(), iterations=1000)  # warm up
+
+    in_memory = Tracer()
+    in_memory_s = _timed_guard_loop(in_memory, iterations=_STREAM_EVENTS)
+
+    sink = StreamingSink(
+        tmp_path / "shards", window=_STREAM_WINDOW, shard_events=100_000
+    )
+    streaming = Tracer(sink=sink)
+    streaming_s = _timed_guard_loop(streaming, iterations=_STREAM_EVENTS)
+    streaming.close()
+
+    # Bounded residency: only the ring window stays in memory while the
+    # full stream landed on disk.
+    assert len(sink.recent) == _STREAM_WINDOW
+    assert sink.total_events == _STREAM_EVENTS
+    assert len(streaming) == _STREAM_EVENTS
+    assert sink.published_shards == _STREAM_EVENTS // 100_000
+
+    ratio = streaming_s / in_memory_s
+    save_table(
+        "streaming_sink_overhead",
+        ["measure", "value"],
+        [
+            ["in-memory emit, 1M events (s)", fmt(in_memory_s, 3)],
+            ["streaming emit, 1M events (s)", fmt(streaming_s, 3)],
+            ["streaming / in-memory ratio", fmt(ratio, 2)],
+            ["resident events (window)", len(sink.recent)],
+            ["published shards", sink.published_shards],
+        ],
+        note="streaming must stay within 2x of the buffered emit path "
+             "while holding only O(window) events resident",
+    )
+    assert ratio < 2.0, (
+        f"streaming emit is {ratio:.2f}x the in-memory path; the "
+        "incremental writer must stay within 2x"
+    )

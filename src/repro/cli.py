@@ -626,6 +626,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="record the run's decision events to a JSONL trace file",
     )
     runner.add_argument(
+        "--trace-stream",
+        metavar="DIR",
+        help="record the run's decision events as rotating JSONL shards "
+        "in DIR (bounded memory; concatenation equals --trace output)",
+    )
+    runner.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -660,8 +666,91 @@ def main(argv: Sequence[str] | None = None) -> int:
     reporter = sub.add_parser(
         "report", help="render a saved trace as a causal run report"
     )
-    reporter.add_argument("trace", help="JSONL trace written by run --trace")
+    reporter.add_argument(
+        "trace",
+        help="JSONL trace written by run --trace, or a shard directory "
+        "written by run --trace-stream / serve --stream-dir",
+    )
+    server = sub.add_parser(
+        "serve",
+        help="tick a scenario live and serve /metrics, /v1/status, "
+        "/v1/epoch (see DESIGN.md 'Live status plane')",
+    )
+    server.add_argument(
+        "scenario",
+        nargs="?",
+        default="fig13",
+        choices=("fig13", "churn"),
+        help="which live scenario to tick (default: fig13)",
+    )
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument(
+        "--port",
+        type=int,
+        default=8791,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    server.add_argument(
+        "--quick", action="store_true", help="shorter simulated horizon"
+    )
+    server.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="override the scenario's simulated horizon",
+    )
+    server.add_argument(
+        "--pace",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help="simulated seconds advanced per wall second "
+        "(0 = as fast as possible)",
+    )
+    server.add_argument(
+        "--status-path",
+        default="status.json",
+        metavar="PATH",
+        help="where the epoch-managed status.json is published",
+    )
+    server.add_argument(
+        "--status-every",
+        type=int,
+        default=5,
+        metavar="K",
+        help="publish status.json every K controller epochs",
+    )
+    server.add_argument(
+        "--stream-dir",
+        metavar="DIR",
+        help="stream the run's trace as rotating JSONL shards in DIR",
+    )
+    server.add_argument(
+        "--no-linger",
+        action="store_true",
+        help="exit when the simulated horizon completes instead of "
+        "serving until SIGINT/SIGTERM",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        from .obs.serve import ServeOptions, serve_run
+
+        return serve_run(
+            ServeOptions(
+                scenario=args.scenario,
+                host=args.host,
+                port=args.port,
+                quick=args.quick,
+                duration_s=args.duration,
+                pace=args.pace,
+                status_path=args.status_path,
+                status_every=args.status_every,
+                stream_dir=args.stream_dir,
+                linger=not args.no_linger,
+            )
+        )
 
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
@@ -710,21 +799,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         invoke = lambda: run(args.quick)
 
+    if args.trace and args.trace_stream:
+        parser.error(
+            "--trace and --trace-stream are mutually exclusive: the "
+            "shard directory already concatenates to the --trace output"
+        )
+
     print(f"== {args.experiment}: {description} ==\n")
-    if args.trace:
+    if args.trace or args.trace_stream:
         from .obs.trace import Tracer, set_default_tracer
 
-        tracer = Tracer.with_instruments()
+        sink = None
+        if args.trace_stream:
+            from .obs.stream import StreamingSink
+
+            sink = StreamingSink(args.trace_stream)
+        tracer = Tracer.with_instruments(sink=sink)
         previous = set_default_tracer(tracer)
         try:
             outcomes = invoke()
         finally:
             set_default_tracer(previous)
-        tracer.to_jsonl(args.trace)
-        print(
-            f"\ntrace: {len(tracer.events)} events -> {args.trace} "
-            f"(render with: bass-repro report {args.trace})"
-        )
+        if args.trace:
+            tracer.to_jsonl(args.trace)
+            print(
+                f"\ntrace: {len(tracer.events)} events -> {args.trace} "
+                f"(render with: bass-repro report {args.trace})"
+            )
+        else:
+            tracer.close()
+            shards = len(sink.shard_paths())
+            print(
+                f"\ntrace: {len(tracer)} events -> {shards} shard(s) in "
+                f"{args.trace_stream} (render with: bass-repro report "
+                f"{args.trace_stream})"
+            )
     else:
         outcomes = invoke()
 

@@ -51,6 +51,7 @@ from .regions import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.detector import FailureDetector
     from ..faults.recovery import RecoveryCoordinator
+    from ..obs.status import StatusPublisher
     from ..sim.engine import Engine, PeriodicTask
 
 _EPSILON = 1e-9
@@ -300,6 +301,12 @@ class ControlPlane:
         #: the fleet-level latency had regions run in parallel.
         self.epoch_decision_seconds: list[float] = []
         self.round_stats: list[RegionRoundStats] = []
+        #: Fleet epochs completed (both the legacy and regionalized
+        #: paths); drives the status publisher's k-epoch cadence.
+        self.epoch_count = 0
+        #: Optional live status plane (see repro.obs.status); None by
+        #: default, so batch experiments run byte-identical to seed.
+        self.status: Optional["StatusPublisher"] = None
 
     # -- accessors ---------------------------------------------------------
 
@@ -509,7 +516,9 @@ class ControlPlane:
         if not group:
             return []
         if self.region_map is not None:
-            return self._run_fleet_round(group)
+            iterations = self._run_fleet_round(group)
+            self._end_epoch()
+            return iterations
         if self.arbiter is not None:
             self.arbiter.begin_epoch(self.netem.now)
         shared_probed: Optional[set[tuple[str, str]]] = (
@@ -526,7 +535,19 @@ class ControlPlane:
         ]
         if self.config.ledger_checks:
             check_cluster_ledger(self.orchestrator.cluster)
+        self._end_epoch()
         return iterations
+
+    def attach_status(self, publisher: "StatusPublisher") -> None:
+        """Opt in to the live status plane: ``publisher.on_epoch`` fires
+        at the end of every fleet epoch.  Never attached by the batch
+        experiments, whose output stays byte-identical to seed."""
+        self.status = publisher
+
+    def _end_epoch(self) -> None:
+        self.epoch_count += 1
+        if self.status is not None:
+            self.status.on_epoch(self.netem.now, self.epoch_count)
 
     # -- the regionalized fleet round --------------------------------------
 

@@ -498,6 +498,21 @@ class RegionController:
         again (locally or via a fresh handoff) next round."""
         self._pending_handoffs.discard((request.app, request.component))
 
+    # -- live status -------------------------------------------------------
+
+    def health(self, down_nodes: Iterable[str]) -> dict:
+        """This region's block of the status plane's ``status.json``:
+        degraded whenever any owned node is down."""
+        down = sorted(set(self.nodes) & set(down_nodes))
+        return {
+            "name": self.name,
+            "health": "degraded" if down else "ok",
+            "nodes": sorted(self.nodes),
+            "down_nodes": down,
+            "epoch": self.epoch,
+            "pending_handoffs": len(self._pending_handoffs),
+        }
+
 
 @dataclass
 class RegionRoundStats:

@@ -120,10 +120,72 @@ def _fleet_goodput(
     return sum(values) / len(values) if values else 1.0
 
 
-def churn_recovery(
+@dataclass
+class PreparedChurn:
+    """A fully-wired churn run that has not ticked yet.
+
+    :func:`prepare_churn` returns one of these; :func:`churn_recovery`
+    immediately drives it to completion, while the live status plane
+    (``bass-repro serve``) ticks it incrementally, sampling through
+    :meth:`sample` exactly as the batch path does.
+    """
+
+    env: ExperimentEnv
+    handles: list[AppHandle]
+    detector: FailureDetector
+    injector: FaultInjector
+    recovery_enabled: bool
+    crash_node: str
+    crash_at_s: float
+    epoch_interval_s: float
+    times: list[float] = field(default_factory=list)
+    goodput: list[float] = field(default_factory=list)
+
+    def sample(self, now: float) -> None:
+        """The per-tick observer: fleet-mean goodput at ``now``."""
+        self.times.append(now)
+        self.goodput.append(_fleet_goodput(self.env, self.handles, now))
+
+    def result(
+        self, duration_s: float, label: Optional[str] = None
+    ) -> ChurnResult:
+        """Assemble the :class:`ChurnResult` once the clock has run."""
+        env = self.env
+        latency = self.detector.detection_latency_s.get(self.crash_node)
+        coordinator = env.control_plane.recovery if env.control_plane else None
+        arbiter = env.control_plane.arbiter if env.control_plane else None
+        return ChurnResult(
+            label=(
+                label
+                if label is not None
+                else ("bass" if self.recovery_enabled else "k3s")
+            ),
+            crash_node=self.crash_node,
+            crash_at_s=self.crash_at_s,
+            duration_s=duration_s,
+            recovery_enabled=self.recovery_enabled,
+            times=self.times,
+            goodput=self.goodput,
+            detection_latency_s=latency,
+            confirmed_at_s=(
+                self.crash_at_s + latency if latency is not None else None
+            ),
+            actions=(
+                list(coordinator.actions) if coordinator is not None else []
+            ),
+            conflict_count=(
+                arbiter.conflict_count if arbiter is not None else 0
+            ),
+            epoch_interval_s=self.epoch_interval_s,
+            goodput_stats=recovery_timeline_stats(
+                self.times, self.goodput, fault_at_s=self.crash_at_s
+            ),
+        )
+
+
+def prepare_churn(
     *,
     tenants: int = 1,
-    duration_s: float = 240.0,
     seed: int = 23,
     crash_node: str = "node2",
     crash_at_s: float = 60.0,
@@ -131,33 +193,18 @@ def churn_recovery(
     demand_mbps: float = 2.0,
     source_node: str = "node1",
     recovery: bool = True,
-    label: Optional[str] = None,
     heartbeat: Optional[HeartbeatConfig] = None,
     config: Optional[BassConfig] = None,
     fleet: Optional[FleetConfig] = None,
     tracer: Optional[TracerBase] = None,
     env: Optional[ExperimentEnv] = None,
-) -> ChurnResult:
-    """Crash ``crash_node`` mid-run and measure detection + recovery.
+) -> PreparedChurn:
+    """Build the churn substrate without running the clock.
 
-    Every tenant is a pinned-source stream pair whose sink starts on
-    ``crash_node``, so the crash severs all of them at once.  With
-    ``recovery=True`` the failure detector's confirmation triggers
-    fleet-arbitrated re-placement (BASS); with ``recovery=False`` the
-    pods stay bound to the dead node forever (the k3s baseline).
-
-    Args:
-        tenants: co-deployed stream pairs (>1 exercises the arbiter).
-        crash_at_s: when the node dies.
-        reboot_after_s: bring the node back after this long (None: stays
-            dead).  Recovery has already moved the pods by then; the
-            detector just reports the node alive again.
-        recovery: wire detector confirmations into crash recovery.
-        heartbeat: detection timing; defaults to 5 s beats, suspect
-            after 2 misses, confirm after 4.
-        config: per-tenant BASS config.  Defaults disable goodput
-            migrations so crash recovery is the only re-placement path.
-        env: reuse a pre-built substrate (tests pre-populate the mesh).
+    Construction order is identical to the original inline path in
+    :func:`churn_recovery` (env → tenants → injector → detector →
+    recovery wiring), so a prepared-then-run churn is byte-identical to
+    the batch run — the determinism the goldens pin.
     """
     if config is None:
         config = BassConfig(migrations_enabled=False)
@@ -198,35 +245,74 @@ def churn_recovery(
         assert env.control_plane is not None
         env.control_plane.enable_recovery(detector)
 
-    times: list[float] = []
-    goodput: list[float] = []
-
-    def sample(now: float) -> None:
-        times.append(now)
-        goodput.append(_fleet_goodput(env, handles, now))
-
-    run_timeline(env, duration_s, on_tick=sample)
-
-    latency = detector.detection_latency_s.get(crash_node)
-    coordinator = env.control_plane.recovery if env.control_plane else None
-    arbiter = env.control_plane.arbiter if env.control_plane else None
-    return ChurnResult(
-        label=label if label is not None else ("bass" if recovery else "k3s"),
+    return PreparedChurn(
+        env=env,
+        handles=handles,
+        detector=detector,
+        injector=injector,
+        recovery_enabled=recovery,
         crash_node=crash_node,
         crash_at_s=crash_at_s,
-        duration_s=duration_s,
-        recovery_enabled=recovery,
-        times=times,
-        goodput=goodput,
-        detection_latency_s=latency,
-        confirmed_at_s=(crash_at_s + latency if latency is not None else None),
-        actions=list(coordinator.actions) if coordinator is not None else [],
-        conflict_count=arbiter.conflict_count if arbiter is not None else 0,
         epoch_interval_s=config.probe.headroom_interval_s,
-        goodput_stats=recovery_timeline_stats(
-            times, goodput, fault_at_s=crash_at_s
-        ),
     )
+
+
+def churn_recovery(
+    *,
+    tenants: int = 1,
+    duration_s: float = 240.0,
+    seed: int = 23,
+    crash_node: str = "node2",
+    crash_at_s: float = 60.0,
+    reboot_after_s: Optional[float] = None,
+    demand_mbps: float = 2.0,
+    source_node: str = "node1",
+    recovery: bool = True,
+    label: Optional[str] = None,
+    heartbeat: Optional[HeartbeatConfig] = None,
+    config: Optional[BassConfig] = None,
+    fleet: Optional[FleetConfig] = None,
+    tracer: Optional[TracerBase] = None,
+    env: Optional[ExperimentEnv] = None,
+) -> ChurnResult:
+    """Crash ``crash_node`` mid-run and measure detection + recovery.
+
+    Every tenant is a pinned-source stream pair whose sink starts on
+    ``crash_node``, so the crash severs all of them at once.  With
+    ``recovery=True`` the failure detector's confirmation triggers
+    fleet-arbitrated re-placement (BASS); with ``recovery=False`` the
+    pods stay bound to the dead node forever (the k3s baseline).
+
+    Args:
+        tenants: co-deployed stream pairs (>1 exercises the arbiter).
+        crash_at_s: when the node dies.
+        reboot_after_s: bring the node back after this long (None: stays
+            dead).  Recovery has already moved the pods by then; the
+            detector just reports the node alive again.
+        recovery: wire detector confirmations into crash recovery.
+        heartbeat: detection timing; defaults to 5 s beats, suspect
+            after 2 misses, confirm after 4.
+        config: per-tenant BASS config.  Defaults disable goodput
+            migrations so crash recovery is the only re-placement path.
+        env: reuse a pre-built substrate (tests pre-populate the mesh).
+    """
+    prepared = prepare_churn(
+        tenants=tenants,
+        seed=seed,
+        crash_node=crash_node,
+        crash_at_s=crash_at_s,
+        reboot_after_s=reboot_after_s,
+        demand_mbps=demand_mbps,
+        source_node=source_node,
+        recovery=recovery,
+        heartbeat=heartbeat,
+        config=config,
+        fleet=fleet,
+        tracer=tracer,
+        env=env,
+    )
+    run_timeline(prepared.env, duration_s, on_tick=prepared.sample)
+    return prepared.result(duration_s, label)
 
 
 def _churn_seed_cell(*, seed: int, settle_s: float = 120.0) -> ChurnResult:

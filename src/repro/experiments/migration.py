@@ -271,6 +271,84 @@ class Fig13Series:
         return float(np.percentile(self.latency_s, 99))
 
 
+@dataclass
+class Fig13Cell:
+    """One wired fig13 interval setting that has not ticked yet.
+
+    Built by :func:`prepare_fig13_cell`; the batch sweep drives it
+    immediately, while ``bass-repro serve`` ticks it live under the
+    status plane.  Construction order matches the original inline loop
+    exactly, so the batch results stay byte-identical.
+    """
+
+    env: object
+    app: SocialNetworkApp
+    handle: object
+    rng: object
+    restrict_to_mbps: float
+
+    def throttle(self) -> None:
+        set_node_egress_limit(self.env, "node2", self.restrict_to_mbps)
+        set_node_egress_limit(self.env, "node3", self.restrict_to_mbps)
+
+    def unthrottle(self) -> None:
+        set_node_egress_limit(self.env, "node2", None)
+        set_node_egress_limit(self.env, "node3", None)
+
+    def sample_latency_s(self, samples: int = 8) -> float:
+        return float(
+            np.mean(
+                self.app.sample_latencies_s(
+                    self.handle.binding, samples, self.rng
+                )
+            )
+        )
+
+
+def prepare_fig13_cell(
+    interval: Optional[float],
+    *,
+    rps: float = 400.0,
+    restrict_to_mbps: float = 25.0,
+    seed: int = 13,
+) -> Fig13Cell:
+    """Assemble one fig13 interval cell without running the clock.
+
+    Heterogeneous nodes sized so the application (12 cores) spans two
+    nodes and the top-ranked node (node2, which the packer fills with
+    the hottest services) is among the throttled ones — leaving slack
+    on unthrottled node1 for migrations to use.
+    """
+    topology = MeshTopology()
+    for name, cores in (("node1", 6.0), ("node2", 8.0), ("node3", 6.0)):
+        topology.add_node(
+            MeshNode(name, cpu_cores=cores, memory_mb=131072.0)
+        )
+    names = topology.node_names
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            topology.add_link(a, b, capacity_mbps=1000.0, latency_ms=0.5)
+    env = build_env(
+        topology, seed=seed, buffer_mbit=200.0, restart_seconds=8.0
+    )
+    app = SocialNetworkApp(annotate_rps=rps)
+    config = BassConfig(migrations_enabled=interval is not None)
+    if interval is not None:
+        config = config.with_probe(headroom_interval_s=interval)
+        config = config.with_migration(cooldown_s=0.0)
+    handle = deploy_app(env, app, "bass-longest-path", config=config)
+    app.set_rps(rps)
+    app.update_demands(handle.binding, 0.0)
+    rng = env.rng.get(f"fig13-{interval}")
+    return Fig13Cell(
+        env=env,
+        app=app,
+        handle=handle,
+        rng=rng,
+        restrict_to_mbps=restrict_to_mbps,
+    )
+
+
 def fig13_socialnet_migration(
     intervals: tuple[Optional[float], ...] = (30.0, 60.0, 90.0, None),
     *,
@@ -292,47 +370,22 @@ def fig13_socialnet_migration(
     results = []
     restrict_end = restrict_at_s + restrict_for_s
     for interval in intervals:
-        # Heterogeneous nodes sized so the application (12 cores) spans
-        # two nodes and the top-ranked node (node2, which the packer
-        # fills with the hottest services) is among the throttled ones —
-        # leaving slack on unthrottled node1 for migrations to use.
-        topology = MeshTopology()
-        for name, cores in (("node1", 6.0), ("node2", 8.0), ("node3", 6.0)):
-            topology.add_node(
-                MeshNode(name, cpu_cores=cores, memory_mb=131072.0)
-            )
-        names = topology.node_names
-        for i, a in enumerate(names):
-            for b in names[i + 1 :]:
-                topology.add_link(a, b, capacity_mbps=1000.0, latency_ms=0.5)
-        env = build_env(
-            topology, seed=seed, buffer_mbit=200.0, restart_seconds=8.0
+        cell = prepare_fig13_cell(
+            interval,
+            rps=rps,
+            restrict_to_mbps=restrict_to_mbps,
+            seed=seed,
         )
-        app = SocialNetworkApp(annotate_rps=rps)
-        config = BassConfig(migrations_enabled=interval is not None)
-        if interval is not None:
-            config = config.with_probe(headroom_interval_s=interval)
-            config = config.with_migration(cooldown_s=0.0)
-        handle = deploy_app(env, app, "bass-longest-path", config=config)
-        app.set_rps(rps)
-        app.update_demands(handle.binding, 0.0)
-        rng = env.rng.get(f"fig13-{interval}")
+        env, app, handle = cell.env, cell.app, cell.handle
         times: list[float] = []
         latencies: list[float] = []
 
-        def sample(t: float) -> None:
+        def sample(t: float, cell=cell, times=times, latencies=latencies) -> None:
             times.append(t)
-            latencies.append(
-                float(np.mean(app.sample_latencies_s(handle.binding, 8, rng)))
-            )
+            latencies.append(cell.sample_latency_s())
 
-        def throttle() -> None:
-            set_node_egress_limit(env, "node2", restrict_to_mbps)
-            set_node_egress_limit(env, "node3", restrict_to_mbps)
-
-        def unthrottle() -> None:
-            set_node_egress_limit(env, "node2", None)
-            set_node_egress_limit(env, "node3", None)
+        throttle = cell.throttle
+        unthrottle = cell.unthrottle
 
         run_timeline(
             env,

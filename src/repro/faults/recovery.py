@@ -79,6 +79,24 @@ class RecoveryCoordinator:
     def failed_count(self) -> int:
         return sum(1 for action in self.actions if not action.succeeded)
 
+    def snapshot(self, recent: int = 20) -> dict:
+        """The ``recovery`` block of the status plane's ``status.json``."""
+        return {
+            "recovered": self.recovered_count,
+            "failed": self.failed_count,
+            "recent_actions": [
+                {
+                    "time": action.time,
+                    "app": action.app,
+                    "component": action.component,
+                    "from_node": action.from_node,
+                    "to_node": action.to_node,
+                    "succeeded": action.succeeded,
+                }
+                for action in self.actions[-recent:]
+            ],
+        }
+
     # -- the recovery round ------------------------------------------------
 
     def recover_from(

@@ -147,6 +147,16 @@ class InstrumentRegistry:
     ) -> Histogram:
         return self._get(Histogram, name, labels, buckets=buckets)
 
+    def items(
+        self,
+    ) -> list[tuple[str, tuple[tuple[str, str], ...], object]]:
+        """All ``(name, labels, instrument)`` triples, deterministically
+        ordered by ``(name, labels)`` — the exposition iteration order."""
+        return sorted(
+            (name, labels, instrument)
+            for (name, labels), instrument in self._instruments.items()
+        )
+
 
 class StandardInstruments:
     """Derives the standard BASS metric set from the trace stream.

@@ -298,6 +298,18 @@ def _describe(event: TraceEvent) -> str:
             f"{prefix}: handoff of {data.get('component')} onto "
             f"{data.get('target_node')} aborted — {data.get('note')}"
         )
+    if event.kind == "slo.breach":
+        return (
+            f"{prefix}: SLO {data.get('rule')} breached — "
+            f"{data.get('metric')}="
+            f"{data.get('observed', float('nan')):.4f} over ceiling "
+            f"{data.get('max_value', float('nan')):.4f}"
+        )
+    if event.kind == "status.published":
+        return (
+            f"{prefix}: status.json revision {data.get('revision')} "
+            f"published (epoch {event.epoch})"
+        )
     extras = " ".join(f"{k}={v}" for k, v in sorted(data.items()))
     return f"{prefix}: {extras}" if extras else prefix
 
@@ -374,6 +386,16 @@ def render_report(events: Sequence[TraceEvent]) -> str:
                 lines.append(f"{indent}deflected  {_describe(deflection)}")
             if not chain.complete:
                 lines.append(f"{indent}!! incomplete cause chain")
+
+    breaches = [e for e in events if e.kind == "slo.breach"]
+    if breaches:
+        by_id = {event.id: event for event in events}
+        lines.append("")
+        lines.append(f"slo breaches: {len(breaches)}")
+        for index, breach in enumerate(breaches, 1):
+            lines.append(f"  [{index}] {_describe(breach)}")
+            for ancestor in cause_chain(by_id, breach)[1:]:
+                lines.append(f"      caused-by  {_describe(ancestor)}")
 
     deflections = [e for e in events if e.kind == "migration.deflected"]
     restarts = [e for e in events if e.kind == "restart"]

@@ -1,0 +1,372 @@
+"""Live status plane: ``/metrics``, ``/v1/status``, ``/v1/epoch`` over
+a ticking run.
+
+``bass-repro serve`` turns a batch scenario into a service in the style
+of the mesh-controller architecture (SNIPPETS.md snippet 1): a stdlib
+:class:`http.server.ThreadingHTTPServer` answers scrapes on a
+background thread while the simulation ticks on the main thread, the
+two serialized by one lock.  The endpoints:
+
+=============  ===========================================================
+``/metrics``   Prometheus/OpenMetrics text: every instrument plus the
+               rolling-window gauges (:mod:`repro.obs.exposition`).
+``/v1/status`` The status publisher's latest ``status.json`` document
+               (:mod:`repro.obs.status`), fresh-rendered before the
+               first publish.
+``/v1/epoch``  Controller epoch, simulation time, status revision.
+``/health``    Liveness probe.
+=============  ===========================================================
+
+Everything here is opt-in plumbing around unmodified experiments: the
+scenarios are the same :func:`~repro.experiments.churn.prepare_churn` /
+:func:`~repro.experiments.migration.prepare_fig13_cell` substrates the
+batch paths drive, so a served run makes the same decisions a batch run
+would.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from .exposition import CONTENT_TYPE, RollingWindows, render_openmetrics
+from .instruments import InstrumentRegistry
+from .slo import DEFAULT_SLO_RULES, SloRule, SloWatchdog
+from .status import StatusPublisher
+from .stream import StreamingSink
+from .trace import Tracer, set_default_tracer
+
+#: Scenario names ``bass-repro serve`` accepts.
+SCENARIOS = ("fig13", "churn")
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class StatusPlane:
+    """The wired observability bundle behind one served run."""
+
+    tracer: Tracer
+    registry: InstrumentRegistry
+    windows: RollingWindows
+    watchdog: SloWatchdog
+    publisher: StatusPublisher
+
+
+def attach_status_plane(
+    control_plane,
+    tracer: Tracer,
+    *,
+    status_path: str | Path = "status.json",
+    every_k_epochs: int = 5,
+    window_s: float = 300.0,
+    rules: Sequence[SloRule] = DEFAULT_SLO_RULES,
+) -> StatusPlane:
+    """Wire rolling windows, SLO watchdogs, and the status publisher
+    onto a control plane (the opt-in that turns batch into live)."""
+    windows = RollingWindows(window_s)
+    tracer.add_observer(windows)
+    watchdog = SloWatchdog(tuple(rules), windows, tracer)
+    publisher = StatusPublisher(
+        control_plane,
+        status_path,
+        every_k_epochs=every_k_epochs,
+        windows=windows,
+        watchdog=watchdog,
+        tracer=tracer,
+    )
+    control_plane.attach_status(publisher)
+    registry = (
+        tracer.instruments.registry
+        if tracer.instruments is not None
+        else InstrumentRegistry()
+    )
+    return StatusPlane(
+        tracer=tracer,
+        registry=registry,
+        windows=windows,
+        watchdog=watchdog,
+        publisher=publisher,
+    )
+
+
+@dataclass
+class LiveScenario:
+    """A prepared substrate plus the timeline a served run drives."""
+
+    name: str
+    env: object  # repro.experiments.common.ExperimentEnv
+    duration_s: float
+    events: tuple[tuple[float, Callable[[], None]], ...] = ()
+    on_tick: Optional[Callable[[float], None]] = None
+    tick_s: float = 1.0
+
+
+def build_scenario(name: str, *, quick: bool = False) -> LiveScenario:
+    """Assemble a servable scenario (the process-default tracer is
+    picked up by ``build_env`` inside, exactly as ``run --trace``)."""
+    if name == "churn":
+        from ..config import BassConfig
+        from ..experiments.churn import prepare_churn
+
+        # The batch churn experiment freezes migrations to isolate
+        # recovery; the live scenario keeps them on so headroom probes
+        # feed the rolling windows every epoch.
+        prepared = prepare_churn(config=BassConfig())
+        return LiveScenario(
+            name="churn",
+            env=prepared.env,
+            duration_s=150.0 if quick else 240.0,
+            on_tick=prepared.sample,
+        )
+    if name == "fig13":
+        from ..experiments.migration import prepare_fig13_cell
+
+        cell = prepare_fig13_cell(30.0)
+        restrict_at_s = 10.0
+        restrict_for_s = 60.0 if quick else 180.0
+        return LiveScenario(
+            name="fig13",
+            env=cell.env,
+            duration_s=120.0 if quick else 300.0,
+            events=(
+                (restrict_at_s, cell.throttle),
+                (restrict_at_s + restrict_for_s, cell.unthrottle),
+            ),
+        )
+    raise ValueError(
+        f"unknown serve scenario {name!r} (expected one of {SCENARIOS})"
+    )
+
+
+class LiveRun:
+    """One scenario ticking under the status plane.
+
+    The HTTP thread and the stepping thread share :attr:`lock`: every
+    endpoint renders under it, and :meth:`step` advances the clock
+    under it, so scrapes always observe a consistent simulation state.
+    """
+
+    def __init__(self, scenario: LiveScenario, plane: StatusPlane) -> None:
+        self.scenario = scenario
+        self.plane = plane
+        self.lock = threading.Lock()
+        self._started = False
+
+    @property
+    def env(self):
+        return self.scenario.env
+
+    @property
+    def engine(self):
+        return self.scenario.env.engine
+
+    @property
+    def control_plane(self):
+        return self.scenario.env.control_plane
+
+    @property
+    def done(self) -> bool:
+        return self.engine.now >= self.scenario.duration_s - _EPSILON
+
+    def start(self) -> None:
+        """Arm the emulator, tick observer, and timeline events — the
+        same order as ``run_timeline``, so decisions match batch."""
+        if self._started:
+            return
+        self._started = True
+        scenario = self.scenario
+        env = scenario.env
+        env.netem.start()
+        if scenario.on_tick is not None:
+            env.engine.every(
+                scenario.tick_s,
+                lambda: scenario.on_tick(env.engine.now),
+            )
+        for time, callback in scenario.events:
+            env.engine.schedule_at(time, callback)
+
+    def step(self, sim_seconds: float) -> float:
+        """Advance the clock by up to ``sim_seconds``; returns now."""
+        with self.lock:
+            target = min(
+                self.engine.now + sim_seconds, self.scenario.duration_s
+            )
+            self.engine.run_until(target)
+            return self.engine.now
+
+    def finish(self) -> None:
+        """Publish one final status snapshot and seal the trace."""
+        with self.lock:
+            self.plane.publisher.publish(
+                self.engine.now, self.control_plane.epoch_count
+            )
+            self.plane.tracer.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "bass-repro-serve"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # scrapes stay off the experiment's stdout
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        live: LiveRun = self.server.live  # type: ignore[attr-defined]
+        plane = live.plane
+        path = self.path.split("?", 1)[0]
+        with live.lock:
+            now = live.engine.now
+            if path == "/metrics":
+                body = render_openmetrics(
+                    plane.registry, plane.windows, now=now
+                ).encode()
+                content_type = CONTENT_TYPE
+            elif path == "/v1/status":
+                document = plane.publisher.last_snapshot
+                if document is None:
+                    document = plane.publisher.snapshot(
+                        now, live.control_plane.epoch_count
+                    )
+                body = (
+                    json.dumps(document, indent=2, sort_keys=True) + "\n"
+                ).encode()
+                content_type = "application/json"
+            elif path == "/v1/epoch":
+                body = (
+                    json.dumps(
+                        {
+                            "epoch": live.control_plane.epoch_count,
+                            "sim_time_s": now,
+                            "revision": plane.publisher.revision,
+                            "done": live.done,
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                ).encode()
+                content_type = "application/json"
+            elif path == "/health":
+                body = b'{"ok": true}\n'
+                content_type = "application/json"
+            else:
+                self.send_error(404, "unknown endpoint")
+                return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class LiveStatusServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`LiveRun`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], live: LiveRun) -> None:
+        super().__init__(address, _Handler)
+        self.live = live
+        self.thread: Optional[threading.Thread] = None
+
+
+def start_server(
+    live: LiveRun, *, host: str = "127.0.0.1", port: int = 0
+) -> LiveStatusServer:
+    """Serve the run's endpoints on a daemon thread (port 0: ephemeral)."""
+    server = LiveStatusServer((host, port), live)
+    thread = threading.Thread(
+        target=server.serve_forever, name="bass-status-http", daemon=True
+    )
+    thread.start()
+    server.thread = thread
+    return server
+
+
+@dataclass
+class ServeOptions:
+    """Knobs for :func:`serve_run` (mirrors the CLI flags)."""
+
+    scenario: str = "fig13"
+    host: str = "127.0.0.1"
+    port: int = 8791
+    quick: bool = False
+    duration_s: Optional[float] = None  # None: the scenario default
+    pace: float = 0.0  # sim seconds per wall second; 0 = unpaced
+    step_s: float = 5.0  # sim seconds per stepping-loop iteration
+    status_path: str = "status.json"
+    status_every: int = 5  # publish every k controller epochs
+    stream_dir: Optional[str] = None  # streaming trace shards
+    window_s: float = 300.0
+    rules: tuple[SloRule, ...] = field(default=DEFAULT_SLO_RULES)
+    linger: bool = True  # keep serving after the run until signalled
+
+
+def serve_run(options: ServeOptions) -> int:
+    """The ``bass-repro serve`` entry point: tick a scenario to its
+    horizon while serving the status plane; afterwards keep serving
+    until SIGINT/SIGTERM, then shut down cleanly."""
+    sink = (
+        StreamingSink(options.stream_dir)
+        if options.stream_dir is not None
+        else None
+    )
+    tracer = Tracer.with_instruments(sink=sink)
+    previous = set_default_tracer(tracer)
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ANN001 - signal signature
+        stop.set()
+
+    original_handlers = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    server: Optional[LiveStatusServer] = None
+    try:
+        scenario = build_scenario(options.scenario, quick=options.quick)
+        if options.duration_s is not None:
+            scenario.duration_s = options.duration_s
+        plane = attach_status_plane(
+            scenario.env.control_plane,
+            tracer,
+            status_path=options.status_path,
+            every_k_epochs=options.status_every,
+            window_s=options.window_s,
+            rules=options.rules,
+        )
+        live = LiveRun(scenario, plane)
+        server = start_server(live, host=options.host, port=options.port)
+        host, port = server.server_address[:2]
+        print(
+            f"serving {scenario.name} on http://{host}:{port} "
+            f"(/metrics /v1/status /v1/epoch), horizon "
+            f"{scenario.duration_s:.0f}s sim"
+        )
+        live.start()
+        while not stop.is_set() and not live.done:
+            live.step(options.step_s)
+            if options.pace > 0:
+                stop.wait(options.step_s / options.pace)
+        live.finish()
+        print(
+            f"run complete at t={live.engine.now:.0f}s "
+            f"({live.control_plane.epoch_count} epochs, "
+            f"status revision {plane.publisher.revision})"
+        )
+        if options.linger:
+            print("serving until SIGINT/SIGTERM ...")
+            while not stop.is_set():
+                stop.wait(0.2)
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        set_default_tracer(previous)
+        for sig, handler in original_handlers.items():
+            signal.signal(sig, handler)
+    return 0

@@ -26,9 +26,14 @@ Example:
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stream import StreamingSink
 
 #: The core event taxonomy (emitters may add further kinds; the report
 #: treats unknown kinds as timeline annotations).  Documented in
@@ -71,6 +76,8 @@ EVENT_KINDS = (
     "cell.cached",  # one sweep cell served from the result cache
     "cell.failed",  # one sweep cell raised in its worker
     "sweep.done",  # all cells settled; summary stats attached
+    "slo.breach",  # a watchdog rule crossed its rolling-window ceiling
+    "status.published",  # the status publisher snapshotted status.json
 )
 
 
@@ -176,27 +183,70 @@ NULL_TRACER = NullTracer()
 class Tracer(TracerBase):
     """Recording tracer: an append-only, causally-linked event log.
 
+    Two storage backends share one emit path:
+
+    * **Buffered (default)** — every event is kept in :attr:`events`
+      until :meth:`to_jsonl` exports them.  Simple, and right for the
+      batch experiments whose traces fit comfortably in memory.
+    * **Streaming** — with a ``sink``
+      (:class:`~repro.obs.stream.StreamingSink`), events flush
+      incrementally to rotating JSONL shards and only the sink's
+      bounded ring buffer of recent events stays resident, so a
+      10M-event always-on run holds O(window) memory.  :attr:`events`
+      then exposes just that recent window; call :meth:`close` to
+      publish the final shard.
+
     Args:
         instruments: optional object with an ``on_event(event)`` hook
             (see :class:`repro.obs.instruments.StandardInstruments`)
             that derives Prometheus-style metrics from the stream.
+        sink: optional streaming backend; None keeps the buffered
+            behaviour, byte-identical to all prior releases.
     """
 
     enabled = True
 
-    def __init__(self, instruments: Optional[Any] = None) -> None:
-        self.events: list[TraceEvent] = []
+    def __init__(
+        self,
+        instruments: Optional[Any] = None,
+        *,
+        sink: "Optional[StreamingSink]" = None,
+    ) -> None:
+        self._events: list[TraceEvent] = []
+        self._sink = sink
         self.instruments = instruments
+        self._observers: list[Any] = []
         self._next_id = 1
         self._app: Optional[str] = None
         self._epoch: Optional[int] = None
 
     @classmethod
-    def with_instruments(cls) -> "Tracer":
+    def with_instruments(
+        cls, *, sink: "Optional[StreamingSink]" = None
+    ) -> "Tracer":
         """A tracer wired to a fresh standard instrument registry."""
         from .instruments import InstrumentRegistry, StandardInstruments
 
-        return cls(instruments=StandardInstruments(InstrumentRegistry()))
+        return cls(
+            instruments=StandardInstruments(InstrumentRegistry()), sink=sink
+        )
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Recorded events: the full log (buffered) or the sink's
+        bounded recent window (streaming)."""
+        if self._sink is not None:
+            return list(self._sink.recent)
+        return self._events
+
+    @property
+    def sink(self) -> "Optional[StreamingSink]":
+        return self._sink
+
+    def add_observer(self, observer: Any) -> None:
+        """Attach another ``on_event(event)`` consumer (rolling windows,
+        SLO bookkeeping) fed after :attr:`instruments` on every emit."""
+        self._observers.append(observer)
 
     # -- context -----------------------------------------------------------
 
@@ -235,13 +285,19 @@ class Tracer(TracerBase):
             data=data,
         )
         self._next_id += 1
-        self.events.append(event)
+        if self._sink is not None:
+            self._sink.append(event)
+        else:
+            self._events.append(event)
         if self.instruments is not None:
             self.instruments.on_event(event)
+        for observer in self._observers:
+            observer.on_event(event)
         return event.id
 
     def __len__(self) -> int:
-        return len(self.events)
+        """Total events emitted (not just the resident window)."""
+        return self._next_id - 1
 
     def events_of_kind(self, kind: str) -> list[TraceEvent]:
         return [event for event in self.events if event.kind == kind]
@@ -249,22 +305,67 @@ class Tracer(TracerBase):
     # -- export ------------------------------------------------------------
 
     def to_jsonl(self, path: str | Path) -> Path:
-        """Write the trace as one JSON object per line."""
+        """Write the trace as one JSON object per line.
+
+        The file is written to a same-directory temp file and published
+        with an atomic rename, so a crash mid-export can never destroy
+        an existing trace or leave a half-written one behind.
+
+        Raises:
+            ValueError: on a streaming tracer — its events are already
+                on disk as shards; :meth:`close` publishes the last one.
+        """
+        if self._sink is not None:
+            raise ValueError(
+                "streaming tracer already writes shards; call close() "
+                "and read the sink's directory instead of to_jsonl()"
+            )
         path = Path(path)
-        with open(path, "w") as handle:
-            for event in self.events:
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w") as handle:
+            for event in self._events:
                 handle.write(event.to_json() + "\n")
+        os.replace(tmp, path)
         return path
+
+    def close(self) -> None:
+        """Flush and publish the streaming sink's final shard (no-op
+        for a buffered tracer)."""
+        if self._sink is not None:
+            self._sink.close()
 
 
 def read_trace(path: str | Path) -> list[TraceEvent]:
-    """Load a JSONL trace written by :meth:`Tracer.to_jsonl`."""
+    """Load a JSONL trace written by :meth:`Tracer.to_jsonl`.
+
+    ``path`` may also be a :class:`~repro.obs.stream.StreamingSink`
+    directory, in which case the published shards are read in order —
+    their concatenation is the full trace.
+
+    A truncated or corrupt trailing line is the *normal* state of a
+    trace from a crashed run, so malformed lines are skipped with a
+    warning and the valid prefix is returned instead of raising.
+    """
+    path = Path(path)
+    if path.is_dir():
+        events: list[TraceEvent] = []
+        for shard in sorted(path.glob("trace-*.jsonl")):
+            events.extend(read_trace(shard))
+        return events
     events = []
     with open(path) as handle:
-        for line in handle:
+        for number, line in enumerate(handle, 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(TraceEvent.from_json(line))
+            except (ValueError, KeyError, TypeError):
+                warnings.warn(
+                    f"{path}:{number}: skipping malformed trace line "
+                    f"(truncated write from a crashed run?)",
+                    stacklevel=2,
+                )
     return events
 
 

@@ -1,0 +1,222 @@
+"""Unit tests for OpenMetrics exposition and the rolling windows."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    RollingPercentile,
+    RollingRate,
+    RollingWindows,
+    escape_label_value,
+    format_value,
+    render_openmetrics,
+)
+from repro.obs.instruments import InstrumentRegistry
+from repro.obs.trace import TraceEvent
+
+
+class TestEscaping:
+    def test_empty_label_set_renders_bare_name(self):
+        registry = InstrumentRegistry()
+        registry.counter("bass_violations_total").inc(1.0)
+        text = render_openmetrics(registry)
+        assert "bass_violations_total 1\n" in text
+        assert "bass_violations_total{" not in text
+
+    def test_quote_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_newline_escaped(self):
+        assert escape_label_value("two\nlines") == "two\\nlines"
+
+    def test_backslash_escaped(self):
+        assert escape_label_value("a\\b") == "a\\\\b"
+
+    def test_backslash_escaped_before_quote(self):
+        # \" must become \\\" (escape the backslash, then the quote),
+        # not \\" which a parser would read as an escaped quote.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_escaped_values_in_rendered_output(self):
+        registry = InstrumentRegistry()
+        registry.counter("bass_faults_total", fault='cut "A"\n').inc(1.0)
+        text = render_openmetrics(registry)
+        assert 'bass_faults_total{fault="cut \\"A\\"\\n"} 1' in text
+
+
+class TestOrdering:
+    def _fill(self, registry, order):
+        for mode in order:
+            registry.counter("bass_probes_total", mode=mode).inc(1.0)
+        registry.counter("bass_violations_total").inc(2.0)
+
+    def test_output_independent_of_insertion_order(self):
+        first = InstrumentRegistry()
+        self._fill(first, ["headroom", "full"])
+        second = InstrumentRegistry()
+        self._fill(second, ["full", "headroom"])
+        assert render_openmetrics(first) == render_openmetrics(second)
+
+    def test_samples_sorted_by_name_then_labels(self):
+        registry = InstrumentRegistry()
+        registry.counter("bass_probes_total", mode="headroom").inc(1.0)
+        registry.counter("bass_probes_total", mode="full").inc(1.0)
+        registry.counter("bass_migrations_total").inc(1.0)
+        lines = [
+            line
+            for line in render_openmetrics(registry).splitlines()
+            if not line.startswith("#")
+        ]
+        assert lines == [
+            "bass_migrations_total 1",
+            'bass_probes_total{mode="full"} 1',
+            'bass_probes_total{mode="headroom"} 1',
+        ]
+
+    def test_one_help_type_block_per_name(self):
+        registry = InstrumentRegistry()
+        registry.counter("bass_probes_total", mode="headroom").inc(1.0)
+        registry.counter("bass_probes_total", mode="full").inc(1.0)
+        text = render_openmetrics(registry)
+        assert text.count("# HELP bass_probes_total") == 1
+        assert text.count("# TYPE bass_probes_total counter") == 1
+
+    def test_ends_with_eof_marker(self):
+        assert render_openmetrics(InstrumentRegistry()).endswith("# EOF\n")
+
+
+class TestHistogramRendering:
+    def test_buckets_sum_count(self):
+        registry = InstrumentRegistry()
+        histogram = registry.histogram(
+            "bass_handoff_latency_seconds", buckets=(1.0, 5.0)
+        )
+        histogram.observe(10.0, 0.5)
+        histogram.observe(11.0, 4.0)
+        histogram.observe(12.0, 50.0)
+        text = render_openmetrics(registry)
+        assert "# TYPE bass_handoff_latency_seconds histogram" in text
+        assert 'bass_handoff_latency_seconds_bucket{le="1"} 1' in text
+        assert 'bass_handoff_latency_seconds_bucket{le="5"} 2' in text
+        assert 'bass_handoff_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "bass_handoff_latency_seconds_sum 54.5" in text
+        assert "bass_handoff_latency_seconds_count 3" in text
+
+    def test_histogram_labels_precede_le(self):
+        registry = InstrumentRegistry()
+        registry.histogram(
+            "bass_handoff_latency_seconds", buckets=(1.0,), region="east"
+        ).observe(1.0, 0.2)
+        text = render_openmetrics(registry)
+        assert (
+            'bass_handoff_latency_seconds_bucket{region="east",le="1"} 1'
+            in text
+        )
+
+
+class TestFormatValue:
+    def test_integral_floats_lose_point(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.0) == "0"
+
+    def test_fractional_kept(self):
+        assert format_value(0.25) == "0.25"
+
+    def test_non_finite(self):
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+
+    def test_content_type_pinned(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+
+
+class TestRollingRate:
+    def test_rate_within_window(self):
+        rate = RollingRate(window_s=10.0, slots=10)
+        for t in (1.0, 2.0, 3.0):
+            rate.add(t)
+        assert rate.rate(5.0) == pytest.approx(0.3)
+
+    def test_old_samples_age_out(self):
+        rate = RollingRate(window_s=10.0, slots=10)
+        rate.add(1.0)
+        assert rate.count(1.0) == 1
+        assert rate.count(100.0) == 0
+
+    def test_ring_reuse_after_wraparound(self):
+        rate = RollingRate(window_s=10.0, slots=10)
+        rate.add(1.0)
+        rate.add(11.0)  # lands in the slot that held t=1.0's sample
+        assert rate.count(11.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingRate(window_s=0.0)
+        with pytest.raises(ValueError):
+            RollingRate(slots=0)
+
+
+class TestRollingPercentile:
+    def test_empty_window_is_nan(self):
+        p = RollingPercentile((1.0,), window_s=10.0, slots=5)
+        assert math.isnan(p.percentile(0.0, 0.95))
+
+    def test_overflow_bucket_is_inf(self):
+        p = RollingPercentile((1.0,), window_s=10.0, slots=5)
+        p.observe(1.0, 99.0)
+        assert p.percentile(1.0, 0.95) == float("inf")
+
+    def test_aging(self):
+        p = RollingPercentile((1.0, 5.0), window_s=10.0, slots=5)
+        p.observe(1.0, 4.0)
+        assert p.percentile(1.0, 0.5) == 5.0
+        assert math.isnan(p.percentile(100.0, 0.5))
+
+
+class TestRollingWindows:
+    def _probe(self, i, t, src="n1", dst="n2"):
+        return TraceEvent(
+            id=i, kind="probe.headroom", time=t, data={"src": src, "dst": dst}
+        )
+
+    def test_per_link_rates_and_cause_tracking(self):
+        windows = RollingWindows(window_s=10.0, slots=10)
+        windows.on_event(self._probe(1, 1.0))
+        windows.on_event(self._probe(2, 2.0, src="n2", dst="n3"))
+        windows.on_event(self._probe(3, 3.0))
+        assert windows.value("probe_rate", 3.0) == pytest.approx(0.3)
+        assert windows.link_probe_rates["n1->n2"].count(3.0) == 2
+        assert windows.link_probe_rates["n2->n3"].count(3.0) == 1
+        assert windows.last_event_id["probe_rate"] == 3
+
+    def test_gauge_samples_render_through_exposition(self):
+        windows = RollingWindows(window_s=10.0, slots=10)
+        windows.on_event(self._probe(1, 1.0))
+        windows.on_event(
+            TraceEvent(
+                id=2, kind="handoff.committed", time=2.0,
+                data={"latency_s": 0.4},
+            )
+        )
+        text = render_openmetrics(
+            InstrumentRegistry(), windows, now=2.0
+        )
+        assert (
+            'bass_rolling_probe_rate_per_second{scope="fleet"} 0.1' in text
+        )
+        assert 'bass_rolling_probe_rate_per_second{link="n1->n2"} 0.1' in text
+        assert "bass_rolling_violation_rate_per_second 0" in text
+        assert "bass_rolling_handoff_latency_p95_seconds 0.5" in text
+
+    def test_nan_p95_gauges_omitted(self):
+        windows = RollingWindows()
+        text = render_openmetrics(InstrumentRegistry(), windows, now=0.0)
+        assert "handoff_latency_p95" not in text
+        assert "detection_latency_p95" not in text
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            RollingWindows().value("nope")

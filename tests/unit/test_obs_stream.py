@@ -1,0 +1,126 @@
+"""Unit tests for the streaming trace sink: golden equivalence with the
+buffered path, shard rotation, and bounded residency."""
+
+import pytest
+
+from repro.obs.stream import StreamingSink
+from repro.obs.trace import TraceEvent, Tracer, read_trace
+
+
+def _emit_script(tracer, count):
+    """Emit a deterministic mixed-kind script through any tracer."""
+    for i in range(count):
+        if i % 3 == 0:
+            tracer.emit(
+                "probe.headroom", float(i), src="n1", dst="n2",
+                capacity_mbps=40.0 + i,
+            )
+        elif i % 3 == 1:
+            tracer.emit(
+                "violation.detected", float(i), app="socialnet",
+                cause=i, goodput=0.5,
+            )
+        else:
+            tracer.emit("restart", float(i), component="sfu", epoch=i // 3)
+
+
+class TestGoldenEquivalence:
+    def test_concatenated_shards_match_to_jsonl_bytes(self, tmp_path):
+        buffered = Tracer()
+        _emit_script(buffered, 57)
+        legacy = buffered.to_jsonl(tmp_path / "legacy.jsonl")
+
+        streaming = Tracer(sink=StreamingSink(
+            tmp_path / "shards", window=8, shard_events=10,
+        ))
+        _emit_script(streaming, 57)
+        streaming.close()
+
+        concatenated = b"".join(
+            shard.read_bytes()
+            for shard in streaming.sink.shard_paths()
+        )
+        assert concatenated == legacy.read_bytes()
+
+    def test_read_trace_on_shard_directory(self, tmp_path):
+        buffered = Tracer()
+        _emit_script(buffered, 23)
+        streaming = Tracer(sink=StreamingSink(
+            tmp_path / "shards", window=4, shard_events=7,
+        ))
+        _emit_script(streaming, 23)
+        streaming.close()
+        assert read_trace(tmp_path / "shards") == buffered.events
+
+
+class TestRotation:
+    def _event(self, i):
+        return TraceEvent(id=i, kind="restart", time=float(i))
+
+    def test_shard_count_and_names(self, tmp_path):
+        sink = StreamingSink(tmp_path, window=4, shard_events=10)
+        for i in range(1, 26):
+            sink.append(self._event(i))
+        sink.close()
+        names = [p.name for p in sink.shard_paths()]
+        assert names == [
+            "trace-00000.jsonl", "trace-00001.jsonl", "trace-00002.jsonl",
+        ]
+        assert sink.published_shards == 3
+
+    def test_partial_final_shard_published_on_close(self, tmp_path):
+        sink = StreamingSink(tmp_path, shard_events=10)
+        for i in range(1, 4):
+            sink.append(self._event(i))
+        assert sink.shard_paths() == []  # nothing published mid-shard
+        sink.close()
+        (only,) = sink.shard_paths()
+        assert len(only.read_text().splitlines()) == 3
+
+    def test_no_tmp_files_after_close(self, tmp_path):
+        sink = StreamingSink(tmp_path, shard_events=4)
+        for i in range(1, 11):
+            sink.append(self._event(i))
+        sink.close()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_exact_multiple_leaves_no_empty_shard(self, tmp_path):
+        sink = StreamingSink(tmp_path, shard_events=5)
+        for i in range(1, 11):
+            sink.append(self._event(i))
+        sink.close()
+        assert len(sink.shard_paths()) == 2
+
+    def test_close_is_idempotent_and_append_after_close_raises(
+        self, tmp_path
+    ):
+        sink = StreamingSink(tmp_path)
+        sink.append(self._event(1))
+        sink.close()
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.append(self._event(2))
+
+
+class TestBoundedResidency:
+    def test_only_window_stays_resident(self, tmp_path):
+        sink = StreamingSink(tmp_path, window=16, shard_events=100)
+        tracer = Tracer(sink=sink)
+        _emit_script(tracer, 500)
+        assert len(sink.recent) == 16
+        assert [e.id for e in sink.recent] == list(range(485, 501))
+        assert len(tracer) == 500
+        assert sink.total_events == 500
+        tracer.close()
+
+    def test_tracer_events_exposes_recent_window(self, tmp_path):
+        tracer = Tracer(sink=StreamingSink(tmp_path, window=3))
+        _emit_script(tracer, 10)
+        assert [e.id for e in tracer.events] == [8, 9, 10]
+        tracer.close()
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            StreamingSink(tmp_path, window=0)
+        with pytest.raises(ValueError):
+            StreamingSink(tmp_path, shard_events=0)

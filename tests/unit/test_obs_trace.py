@@ -135,6 +135,83 @@ class TestWithInstruments:
         assert registry.counter("bass_migrations_total").value == 1
 
 
+class TestReadTraceRobustness:
+    def _write_trace(self, path, events, *, extra_lines=()):
+        lines = [event.to_json() for event in events]
+        lines.extend(extra_lines)
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_malformed_line_skipped_with_warning(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("probe.headroom", 1.0, src="a", dst="b")
+        tracer.emit("restart", 2.0)
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(
+            path,
+            tracer.events,
+            extra_lines=['{"id": 3, "kind": "restart", "t'],  # truncated
+        )
+        with pytest.warns(UserWarning, match="malformed trace line"):
+            events = read_trace(path)
+        assert events == tracer.events
+
+    def test_mid_file_corruption_keeps_valid_lines(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("probe.headroom", 1.0)
+        tracer.emit("restart", 2.0)
+        first, second = tracer.events
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            first.to_json() + "\n" + "not json at all\n" + second.to_json()
+            + "\n"
+        )
+        with pytest.warns(UserWarning, match="trace.jsonl:2"):
+            events = read_trace(path)
+        assert events == [first, second]
+
+    def test_missing_required_field_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "restart", "t": 1.0}\n')  # no id
+        with pytest.warns(UserWarning):
+            assert read_trace(path) == []
+
+    def test_blank_lines_ignored_silently(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("restart", 1.0)
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n" + tracer.events[0].to_json() + "\n\n")
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert read_trace(path) == tracer.events
+
+
+class TestAtomicExport:
+    def test_to_jsonl_leaves_no_temp_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("restart", 1.0)
+        tracer.to_jsonl(tmp_path / "trace.jsonl")
+        assert [p.name for p in tmp_path.iterdir()] == ["trace.jsonl"]
+
+    def test_to_jsonl_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale contents\n")
+        tracer = Tracer()
+        tracer.emit("restart", 1.0)
+        tracer.to_jsonl(path)
+        assert read_trace(path) == tracer.events
+
+    def test_streaming_tracer_rejects_to_jsonl(self, tmp_path):
+        from repro.obs.stream import StreamingSink
+
+        tracer = Tracer(sink=StreamingSink(tmp_path / "shards"))
+        tracer.emit("restart", 1.0)
+        with pytest.raises(ValueError, match="streaming tracer"):
+            tracer.to_jsonl(tmp_path / "trace.jsonl")
+        tracer.close()
+
+
 @pytest.fixture(autouse=True)
 def _isolate_default_tracer():
     """Tests here must never leak a default tracer into the process."""
