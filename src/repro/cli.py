@@ -538,6 +538,40 @@ def _run_fleet(quick: bool, regions: int = 2) -> None:
     )
 
 
+def _run_failover(quick: bool) -> None:
+    from .experiments.failover import failover_outage
+
+    result = failover_outage(duration_s=180.0 if quick else 240.0)
+    stats = result.goodput_stats
+    print(
+        _table(
+            ["metric", "value"],
+            [
+                ["orchestrator killed at", f"{result.kill_at_s:.0f}s"],
+                ["outage", f"{result.down_s:.0f}s"],
+                ["epochs missed", result.missed_epochs],
+                ["recoveries deferred", result.deferred_recoveries],
+                [
+                    "resume -> first re-placement",
+                    f"{result.resume_epoch_gap:.1f} epochs"
+                    if result.resume_epoch_gap is not None
+                    else "never",
+                ],
+                ["pods re-placed", result.churn.recovered_pods],
+                ["goodput pre-outage", f"{stats.pre_mean:.2f}"],
+                ["goodput dip", f"{stats.dip_min:.2f}"],
+                ["goodput post-recovery", f"{stats.post_mean:.2f}"],
+                [
+                    "goodput recovered after",
+                    f"{stats.time_to_recover_s:.0f}s"
+                    if stats.time_to_recover_s is not None
+                    else "never",
+                ],
+            ],
+        )
+    )
+
+
 def _run_table2(quick: bool) -> None:
     from .experiments.static_placement import table2_camera_mesh
 
@@ -598,12 +632,167 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., object]]] = {
     "fleet": ("regionalized control plane: sharded schedulers, handoffs",
               _run_fleet),
     "churn": ("node crash: detection latency and recovery vs k3s", _run_churn),
+    "failover": ("orchestrator kill mid-run: deferred decisions, goodput dip",
+                 _run_failover),
     "churnsweep": ("randomized crash plans across seeds", _run_churnsweep),
     "ablations": ("the design-choice ablation battery", _run_ablations),
     "table2": ("camera median latency on the emulated mesh", _run_table2),
     "table3": ("per-component scheduling latency", _run_table3),
     "table4": ("DAG processing time per application", _run_table4),
 }
+
+
+def _run_checkpoint_mode(args, parser) -> int:
+    """``run`` with --checkpoint-dir / --stop-at / --restore-from: one
+    checkpointable cell (see repro.snap.scenarios) instead of the
+    experiment's usual sweep shape.
+
+    The contract the CI smoke leg pins: stop at tick T, restore in a
+    fresh process, run to completion — and the summary (``--out``) and
+    trace shards are byte-identical to an uninterrupted run with the
+    same checkpoint cadence attached.
+    """
+    import json
+    from pathlib import Path
+
+    from .snap import (
+        SCENARIOS,
+        CheckpointPolicy,
+        SnapshotError,
+        build_capsule,
+        finish_capsule,
+        latest_checkpoint,
+        read_snapshot,
+    )
+
+    if args.experiment not in SCENARIOS:
+        parser.error(
+            f"--checkpoint-dir/--stop-at/--restore-from run a single "
+            f"checkpointable cell; {args.experiment!r} is not one "
+            f"(expected one of {SCENARIOS})"
+        )
+    if args.jobs != 1 or args.cache_dir is not None or args.no_cache:
+        parser.error(
+            "--jobs/--cache-dir/--no-cache do not apply to "
+            "checkpointable runs (one cell, one process)"
+        )
+    if args.stop_at is not None and not (
+        args.checkpoint_dir or args.restore_from
+    ):
+        parser.error("--stop-at needs --checkpoint-dir to write into")
+    if args.trace and args.trace_stream:
+        parser.error("--trace and --trace-stream are mutually exclusive")
+
+    tracer = None
+    previous = None
+    if args.restore_from:
+        if args.trace or args.trace_stream:
+            parser.error(
+                "--trace/--trace-stream cannot start on a restored run: "
+                "the checkpoint carries the original recorder, which "
+                "resumes automatically (streamed shards keep appending "
+                "to their original directory)"
+            )
+        source = Path(args.restore_from)
+        if source.is_dir():
+            found = latest_checkpoint(source)
+            if found is None:
+                parser.error(f"no *.bass checkpoint found in {source}")
+            source = found
+        try:
+            meta, capsule = read_snapshot(
+                source, check_fingerprint=not args.no_fingerprint_check
+            )
+        except SnapshotError as error:
+            parser.error(str(error))
+        if capsule.scenario != args.experiment:
+            parser.error(
+                f"{source} snapshots scenario {capsule.scenario!r}; "
+                f"restore it with 'bass-repro run {capsule.scenario} "
+                f"--restore-from {source}'"
+            )
+        print(
+            f"restored {meta.scenario} from {source} at "
+            f"t={meta.sim_time_s:.0f}s (epoch "
+            f"{capsule.control_plane.epoch_count})"
+        )
+        policy = capsule.control_plane.checkpoints
+        if args.checkpoint_dir:
+            if policy is None:
+                policy = CheckpointPolicy(
+                    args.checkpoint_dir,
+                    every_k_epochs=args.checkpoint_every,
+                )
+                policy.bind(capsule)
+                capsule.control_plane.attach_checkpoints(policy)
+            else:
+                # The pickled cadence shapes the event heap; keep it
+                # and only re-point the directory.
+                policy.directory = Path(args.checkpoint_dir)
+        restored_tracer = capsule.env.tracer
+        if restored_tracer.enabled:
+            tracer = restored_tracer
+    else:
+        if args.trace or args.trace_stream:
+            from .obs.trace import Tracer, set_default_tracer
+
+            sink = None
+            if args.trace_stream:
+                from .obs.stream import StreamingSink
+
+                sink = StreamingSink(args.trace_stream)
+            tracer = Tracer.with_instruments(sink=sink)
+            previous = set_default_tracer(tracer)
+        capsule = build_capsule(
+            args.experiment, quick=args.quick, regions=args.regions
+        )
+        policy = None
+        if args.checkpoint_dir:
+            policy = CheckpointPolicy(
+                args.checkpoint_dir, every_k_epochs=args.checkpoint_every
+            )
+            policy.bind(capsule)
+            capsule.control_plane.attach_checkpoints(policy)
+
+    try:
+        if args.stop_at is not None:
+            if policy is None:
+                parser.error(
+                    "--stop-at needs a checkpoint policy: pass "
+                    "--checkpoint-dir (the restored snapshot carries "
+                    "none)"
+                )
+            reached = capsule.run_until(args.stop_at)
+            path = policy.write(label=f"stop-t{int(reached):06d}")
+            summary = None
+            print(f"stopped at t={reached:.0f}s; checkpoint -> {path}")
+        else:
+            capsule.run_to_completion()
+            summary = finish_capsule(capsule)
+    finally:
+        if previous is not None:
+            from .obs.trace import set_default_tracer
+
+            set_default_tracer(previous)
+
+    if tracer is not None:
+        if args.trace:
+            tracer.to_jsonl(args.trace)
+            print(
+                f"trace: {len(tracer.events)} events -> {args.trace} "
+                f"(render with: bass-repro report {args.trace})"
+            )
+        else:
+            tracer.close()
+
+    if summary is not None:
+        rendered = json.dumps(summary, indent=2, sort_keys=True)
+        print(rendered)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(rendered + "\n")
+            print(f"results: {args.out}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -662,6 +851,41 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=2,
         metavar="N",
         help="region count for the regionalized fleet experiment",
+    )
+    runner.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="run the experiment as a single checkpointable cell and "
+        "write versioned snapshots here (periodically, and on --stop-at)",
+    )
+    runner.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        metavar="K",
+        help="write a checkpoint every K controller epochs "
+        "(0 disables periodic writes; default 5)",
+    )
+    runner.add_argument(
+        "--stop-at",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop the run at this simulated time and write one "
+        "checkpoint instead of a summary (requires --checkpoint-dir)",
+    )
+    runner.add_argument(
+        "--restore-from",
+        metavar="PATH",
+        help="resume from a snapshot file (or the newest *.bass in a "
+        "directory) and run to completion; the result is byte-identical "
+        "to the uninterrupted run",
+    )
+    runner.add_argument(
+        "--no-fingerprint-check",
+        action="store_true",
+        help="restore a snapshot written by different repro code "
+        "(the restored run may diverge; use only for inspection)",
     )
     reporter = sub.add_parser(
         "report", help="render a saved trace as a causal run report"
@@ -732,6 +956,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="exit when the simulated horizon completes instead of "
         "serving until SIGINT/SIGTERM",
     )
+    server.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write periodic snapshots here (plus a final one on "
+        "SIGTERM); if DIR already holds a checkpoint, resume the "
+        "killed run from it instead of starting fresh",
+    )
+    server.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=5,
+        metavar="K",
+        help="checkpoint every K controller epochs (default 5)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "serve":
@@ -749,6 +987,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 status_every=args.status_every,
                 stream_dir=args.stream_dir,
                 linger=not args.no_linger,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
             )
         )
 
@@ -764,6 +1004,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         print(render_report(read_trace(args.trace)))
         return 0
+
+    if (
+        args.checkpoint_dir
+        or args.restore_from
+        or args.stop_at is not None
+    ):
+        return _run_checkpoint_mode(args, parser)
 
     description, run = EXPERIMENTS[args.experiment]
     sweep_capable = getattr(run, "sweep_capable", False)

@@ -30,6 +30,7 @@ migration decisions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from time import perf_counter
 from typing import TYPE_CHECKING, Mapping, Optional
 
@@ -307,6 +308,16 @@ class ControlPlane:
         #: Optional live status plane (see repro.obs.status); None by
         #: default, so batch experiments run byte-identical to seed.
         self.status: Optional["StatusPublisher"] = None
+        #: Optional checkpoint policy (see repro.snap.policy); None by
+        #: default, so batch experiments run byte-identical to seed.
+        self.checkpoints = None
+        #: Orchestrator-failover state: while suspended, no epoch task
+        #: fires and recoveries are deferred (see faults.injector's
+        #: OrchestratorKill handling).
+        self.suspended = False
+        self._suspended_intervals: list[float] = []
+        #: (down_at, up_at) per outage; up_at is None while still down.
+        self.outages: list[tuple[float, Optional[float]]] = []
 
     # -- accessors ---------------------------------------------------------
 
@@ -439,10 +450,12 @@ class ControlPlane:
         if self.region_map is not None:
             self._assign_home(controller)
         interval = controller.config.probe.headroom_interval_s
-        if interval not in self._tasks:
+        if interval not in self._tasks and not self.suspended:
             self._tasks[interval] = self.engine.every(
-                interval, lambda interval=interval: self.run_epoch(interval)
+                interval, partial(self.run_epoch, interval)
             )
+        if self.suspended and interval not in self._suspended_intervals:
+            self._suspended_intervals.append(interval)
 
     def _assign_home(
         self, controller: BandwidthController, cause: Optional[int] = None
@@ -544,10 +557,67 @@ class ControlPlane:
         experiments, whose output stays byte-identical to seed."""
         self.status = publisher
 
+    def attach_checkpoints(self, policy) -> None:
+        """Opt in to periodic checkpointing: ``policy.on_epoch`` fires
+        at the end of every fleet epoch (see repro.snap.policy).  Never
+        attached by plain batch runs, which stay byte-identical."""
+        self.checkpoints = policy
+
     def _end_epoch(self) -> None:
         self.epoch_count += 1
         if self.status is not None:
             self.status.on_epoch(self.netem.now, self.epoch_count)
+        if self.checkpoints is not None:
+            self.checkpoints.on_epoch(self.netem.now, self.epoch_count)
+
+    # -- orchestrator failover ---------------------------------------------
+
+    def suspend(self) -> None:
+        """The orchestrator process dies: disarm every epoch task and
+        defer recovery decisions until :meth:`resume`.
+
+        The substrate is untouched — flows keep flowing, the failure
+        detector keeps beating.  Only decision making stops.
+        """
+        if self.suspended:
+            return
+        self.suspended = True
+        self._suspended_intervals = sorted(self._tasks)
+        self.outages.append((self.netem.now, None))
+        self.stop()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "orchestrator.suspended",
+                self.netem.now,
+                epoch=self.epoch_count,
+                cadences=list(self._suspended_intervals),
+            )
+
+    def resume(self) -> list:
+        """The orchestrator comes back: re-arm the epoch cadences (first
+        firing one full interval from now, like a fresh boot) and drain
+        recoveries that were confirmed during the outage.  Returns the
+        recovery actions taken by the drain."""
+        if not self.suspended:
+            return []
+        self.suspended = False
+        down_at, _ = self.outages[-1]
+        self.outages[-1] = (down_at, self.netem.now)
+        for interval in self._suspended_intervals:
+            self._tasks[interval] = self.engine.every(
+                interval, partial(self.run_epoch, interval)
+            )
+        self._suspended_intervals = []
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "orchestrator.resumed",
+                self.netem.now,
+                epoch=self.epoch_count,
+                outage_s=self.netem.now - down_at,
+            )
+        if self.recovery is not None:
+            return self.recovery.drain_deferred()
+        return []
 
     # -- the regionalized fleet round --------------------------------------
 
@@ -742,7 +812,7 @@ class ControlPlane:
             self._admit_handoff(request)
         else:
             self.engine.schedule_in(
-                delay, lambda request=request: self._admit_handoff(request)
+                delay, partial(self._admit_handoff, request)
             )
 
     def _admit_handoff(self, request: HandoffRequest) -> None:

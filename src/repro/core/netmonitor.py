@@ -20,19 +20,21 @@ application traffic.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Iterable, Optional
 
 from ..config import ProbeConfig
 from ..errors import RoutingError, TopologyError
 from ..net.netem import NetworkEmulator
 from ..obs.trace import TracerBase, resolve_tracer
+from ..sim.counters import sequence
 
 #: Probe flow ids must be unique across *all* monitors sharing one
 #: emulator (the control plane shares one monitor per mesh; standalone
-#: per-application monitors remain supported).
-_PROBE_SEQUENCE = itertools.count(1)
+#: per-application monitors remain supported).  A registered sequence so
+#: checkpoints capture/restore the position (:mod:`repro.sim.counters`).
+_PROBE_SEQUENCE = sequence("netmonitor.probe", start=1)
 
 
 @dataclass(frozen=True)
@@ -158,7 +160,7 @@ class NetMonitor:
         self.netem.add_flow(flow_id, src, dst, rate_mbps, tag="probe")
         self.netem.engine.schedule_in(
             self.config.probe_duration_s,
-            lambda: self.netem.remove_flow(flow_id),
+            partial(self.netem.remove_flow, flow_id),
         )
 
     # -- max-capacity probing --------------------------------------------------

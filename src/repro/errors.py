@@ -57,3 +57,8 @@ class SimulationError(ReproError):
 
 class TraceError(ReproError):
     """A bandwidth trace is malformed or does not cover a requested time."""
+
+
+class SnapshotError(ReproError):
+    """A checkpoint snapshot cannot be written or restored (corruption,
+    schema-version drift, code-fingerprint mismatch)."""

@@ -198,6 +198,7 @@ def prepare_churn(
     fleet: Optional[FleetConfig] = None,
     tracer: Optional[TracerBase] = None,
     env: Optional[ExperimentEnv] = None,
+    extra_faults: tuple = (),
 ) -> PreparedChurn:
     """Build the churn substrate without running the clock.
 
@@ -205,6 +206,10 @@ def prepare_churn(
     :func:`churn_recovery` (env → tenants → injector → detector →
     recovery wiring), so a prepared-then-run churn is byte-identical to
     the batch run — the determinism the goldens pin.
+
+    ``extra_faults`` appends events (e.g. an
+    :class:`~repro.faults.plan.OrchestratorKill`) to the crash plan;
+    the failover experiment layers its outage on this substrate.
     """
     if config is None:
         config = BassConfig(migrations_enabled=False)
@@ -230,8 +235,14 @@ def prepare_churn(
 
     plan = FaultPlan(
         [NodeCrash(crash_at_s, crash_node, reboot_after_s=reboot_after_s)]
+        + list(extra_faults)
     )
-    injector = FaultInjector(plan, env.netem, tracer=env.tracer)
+    injector = FaultInjector(
+        plan,
+        env.netem,
+        tracer=env.tracer,
+        control_plane=env.control_plane,
+    )
     injector.install()
     detector = FailureDetector(
         env.netem,

@@ -228,6 +228,25 @@ def deploy_app(
     )
 
 
+class TickObserver:
+    """The per-tick observer trampoline ``run_timeline`` arms.
+
+    A class, not a closure, so checkpointable runs can serialize the
+    event heap: the observer pickles whenever ``on_tick`` does (bound
+    methods like ``PreparedChurn.sample`` do; ad-hoc lambdas in
+    batch-only experiments need not).
+    """
+
+    __slots__ = ("engine", "on_tick")
+
+    def __init__(self, engine, on_tick: Callable[[float], None]) -> None:
+        self.engine = engine
+        self.on_tick = on_tick
+
+    def __call__(self) -> None:
+        self.on_tick(self.engine.now)
+
+
 def run_timeline(
     env: ExperimentEnv,
     duration_s: float,
@@ -251,7 +270,7 @@ def run_timeline(
     """
     env.netem.start()
     if on_tick is not None:
-        env.engine.every(tick_s, lambda: on_tick(env.engine.now))
+        env.engine.every(tick_s, TickObserver(env.engine, on_tick))
     for time, callback in events:
         env.engine.schedule_at(time, callback)
     env.engine.run_until(duration_s)

@@ -26,6 +26,7 @@ Two scenario shapes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional
 
 from ..config import BassConfig, FleetConfig
@@ -88,12 +89,83 @@ class FleetResult:
         return self.handoff_counts.get("committed", 0)
 
 
-def fleet_mesh(
+@dataclass
+class PreparedFleet:
+    """A built fleet substrate the caller drives (and may checkpoint).
+
+    :func:`prepare_fleet` assembles tenants and timeline events in the
+    exact order :func:`fleet_mesh` always has, so a prepared run's
+    decisions are byte-identical to the one-shot path.
+    """
+
+    env: ExperimentEnv
+    handles: list[AppHandle]
+    events: list
+    regions: int
+    tenants: int
+
+    def result(self, duration_s: float) -> FleetResult:
+        """Assemble the fleet accounting after the clock has run."""
+        env = self.env
+        handles = self.handles
+        cp = env.control_plane
+        full, headroom, _, per_hour = fleet_probe_stats(
+            handles, duration_s
+        )
+        arbiter = cp.arbiter
+        region_map = cp.region_map
+        intra_links = sum(
+            1
+            for link in env.topology.links
+            if region_map.region_of(link.id[0])
+            == region_map.region_of(link.id[1])
+        )
+        cross = 0
+        for handle in handles:
+            for record in handle.deployment.migrations:
+                if region_map.region_of(
+                    record.from_node
+                ) != region_map.region_of(record.to_node):
+                    cross += 1
+        tenants_by_region: dict[str, int] = {}
+        for handle in handles:
+            home = cp.home_region(handle.app.name)
+            tenants_by_region[home] = tenants_by_region.get(home, 0) + 1
+        return FleetResult(
+            regions=self.regions,
+            tenants=self.tenants,
+            duration_s=duration_s,
+            full_probes=full,
+            headroom_probes=headroom,
+            probe_events_per_hour=per_hour,
+            intra_region_links=intra_links,
+            epoch_count=arbiter.epoch_count,
+            decision_seconds=list(cp.epoch_decision_seconds),
+            conflict_count=arbiter.conflict_count,
+            handoff_counts=arbiter.handoff_counts(),
+            handoff_latencies=[
+                request.latency_s
+                for request in arbiter.handoffs
+                if request.latency_s is not None
+            ],
+            migrations_by_app={
+                h.app.name: len(h.deployment.migrations) for h in handles
+            },
+            cross_region_migrations=cross,
+            tenants_by_region=tenants_by_region,
+            iterations_by_app={
+                h.app.name: h.controller.iterations
+                for h in handles
+                if h.controller is not None
+            },
+        )
+
+
+def prepare_fleet(
     *,
     regions: int = 2,
     tenants: int = 4,
     nodes_per_region: int = 3,
-    duration_s: float = 240.0,
     seed: int = 11,
     demand_mbps: float = 2.0,
     node_cpu_cores: float = 8.0,
@@ -105,8 +177,8 @@ def fleet_mesh(
     fleet: Optional[FleetConfig] = None,
     config: Optional[BassConfig] = None,
     env: Optional[ExperimentEnv] = None,
-) -> FleetResult:
-    """Run a regionalized fleet of stream-pair tenants.
+) -> PreparedFleet:
+    """Build the regionalized fleet substrate of :func:`fleet_mesh`.
 
     Tenants are dealt round-robin across regions (tenant ``i`` lives in
     region ``i % regions``): its source is pinned at the region gateway
@@ -147,7 +219,6 @@ def fleet_mesh(
         env = build_env(
             topology=topology, seed=seed, with_traces=False, fleet=fleet
         )
-    cp = env.control_plane
     handles: list[AppHandle] = []
     for index in range(tenants):
         home = pin_region if pin_region is not None else index % regions
@@ -186,60 +257,61 @@ def fleet_mesh(
             events.append(
                 (
                     throttle_at_s,
-                    lambda link=link, src=src, dst=dst: link.set_rate_limit(
-                        throttle_link_mbps, src=src, dst=dst
+                    partial(
+                        link.set_rate_limit,
+                        throttle_link_mbps,
+                        src=src,
+                        dst=dst,
                     ),
                 )
             )
-    run_timeline(env, duration_s, events=events)
-
-    full, headroom, _, per_hour = fleet_probe_stats(handles, duration_s)
-    arbiter = cp.arbiter
-    region_map = cp.region_map
-    intra_links = sum(
-        1
-        for link in env.topology.links
-        if region_map.region_of(link.id[0]) == region_map.region_of(link.id[1])
-    )
-    cross = 0
-    for handle in handles:
-        for record in handle.deployment.migrations:
-            if region_map.region_of(record.from_node) != region_map.region_of(
-                record.to_node
-            ):
-                cross += 1
-    tenants_by_region: dict[str, int] = {}
-    for handle in handles:
-        home = cp.home_region(handle.app.name)
-        tenants_by_region[home] = tenants_by_region.get(home, 0) + 1
-    return FleetResult(
+    return PreparedFleet(
+        env=env,
+        handles=handles,
+        events=events,
         regions=regions,
         tenants=tenants,
-        duration_s=duration_s,
-        full_probes=full,
-        headroom_probes=headroom,
-        probe_events_per_hour=per_hour,
-        intra_region_links=intra_links,
-        epoch_count=arbiter.epoch_count,
-        decision_seconds=list(cp.epoch_decision_seconds),
-        conflict_count=arbiter.conflict_count,
-        handoff_counts=arbiter.handoff_counts(),
-        handoff_latencies=[
-            request.latency_s
-            for request in arbiter.handoffs
-            if request.latency_s is not None
-        ],
-        migrations_by_app={
-            h.app.name: len(h.deployment.migrations) for h in handles
-        },
-        cross_region_migrations=cross,
-        tenants_by_region=tenants_by_region,
-        iterations_by_app={
-            h.app.name: h.controller.iterations
-            for h in handles
-            if h.controller is not None
-        },
     )
+
+
+def fleet_mesh(
+    *,
+    regions: int = 2,
+    tenants: int = 4,
+    nodes_per_region: int = 3,
+    duration_s: float = 240.0,
+    seed: int = 11,
+    demand_mbps: float = 2.0,
+    node_cpu_cores: float = 8.0,
+    handoff_rtt_s: float = 2.0,
+    pin_region: Optional[int] = None,
+    throttle_link_mbps: Optional[float] = None,
+    throttle_at_s: float = 60.0,
+    use_partitioner: bool = False,
+    fleet: Optional[FleetConfig] = None,
+    config: Optional[BassConfig] = None,
+    env: Optional[ExperimentEnv] = None,
+) -> FleetResult:
+    """Run a regionalized fleet of stream-pair tenants (see
+    :func:`prepare_fleet` for the substrate and argument details)."""
+    prepared = prepare_fleet(
+        regions=regions,
+        tenants=tenants,
+        nodes_per_region=nodes_per_region,
+        seed=seed,
+        demand_mbps=demand_mbps,
+        node_cpu_cores=node_cpu_cores,
+        handoff_rtt_s=handoff_rtt_s,
+        pin_region=pin_region,
+        throttle_link_mbps=throttle_link_mbps,
+        throttle_at_s=throttle_at_s,
+        use_partitioner=use_partitioner,
+        fleet=fleet,
+        config=config,
+        env=env,
+    )
+    run_timeline(prepared.env, duration_s, events=prepared.events)
+    return prepared.result(duration_s)
 
 
 def fleet_handoff(

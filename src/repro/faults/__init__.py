@@ -26,6 +26,7 @@ from .plan import (
     LinkDown,
     LinkFlap,
     NodeCrash,
+    OrchestratorKill,
     Partition,
     ProbeBlackout,
     seeded_churn,
@@ -42,6 +43,7 @@ __all__ = [
     "LinkDown",
     "LinkFlap",
     "NodeCrash",
+    "OrchestratorKill",
     "Partition",
     "ProbeBlackout",
     "RecoveryAction",

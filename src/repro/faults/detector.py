@@ -23,17 +23,19 @@ ever being told about the fault.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional
 
 from ..errors import RoutingError, SimulationError
 from ..net.netem import NetworkEmulator
 from ..obs.trace import TracerBase, resolve_tracer
+from ..sim.counters import sequence
 from .injector import FaultInjector
 
 #: Heartbeat flow ids must not collide across detectors on one emulator.
-_HEARTBEAT_SEQUENCE = itertools.count(1)
+#: Registered so checkpoints capture/restore the numbering position.
+_HEARTBEAT_SEQUENCE = sequence("detector.heartbeat", start=1)
 
 #: on_confirmed_dead callback: (node, cause event id, detection latency).
 ConfirmedCallback = Callable[[str, Optional[int], float], None]
@@ -188,7 +190,7 @@ class FailureDetector:
             )
             self.netem.engine.schedule_in(
                 self.config.burst_s,
-                lambda: self.netem.remove_flow(flow_id),
+                partial(self.netem.remove_flow, flow_id),
             )
         return True
 

@@ -19,6 +19,7 @@ link its (honestly late) ``node.suspected`` events back to the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional
 
 from ..errors import SimulationError
@@ -29,6 +30,7 @@ from .plan import (
     LinkDown,
     LinkFlap,
     NodeCrash,
+    OrchestratorKill,
     Partition,
     ProbeBlackout,
 )
@@ -55,6 +57,9 @@ class FaultInjector:
             engine supplies the clock and scheduling).
         tracer: flight recorder; ``fault.injected`` / ``fault.cleared``
             events are emitted per applied fault.
+        control_plane: required when the plan contains
+            :class:`~repro.faults.plan.OrchestratorKill` events — the
+            plane whose epoch loop the kill suspends/resumes.
     """
 
     def __init__(
@@ -63,12 +68,14 @@ class FaultInjector:
         netem: NetworkEmulator,
         *,
         tracer: Optional[TracerBase] = None,
+        control_plane=None,
     ) -> None:
         self.plan = plan
         self.netem = netem
         self.topology = netem.topology
         self.engine = netem.engine
         self.tracer = resolve_tracer(tracer)
+        self.control_plane = control_plane
         self.injected: list[InjectedFault] = []
         self._installed = False
         #: node name -> (trace event id, fault time) of its last crash.
@@ -87,17 +94,26 @@ class FaultInjector:
         for event in self.plan.events:
             if isinstance(event, NodeCrash):
                 self.engine.schedule_at(
-                    event.at_s, lambda e=event: self._crash_node(e)
+                    event.at_s, partial(self._crash_node, event)
                 )
             elif isinstance(event, LinkDown):
                 self.engine.schedule_at(
-                    event.at_s, lambda e=event: self._fail_link(e)
+                    event.at_s, partial(self._fail_link, event)
                 )
             elif isinstance(event, LinkFlap):
                 self._schedule_flap(event)
             elif isinstance(event, Partition):
                 self.engine.schedule_at(
-                    event.at_s, lambda e=event: self._partition(e)
+                    event.at_s, partial(self._partition, event)
+                )
+            elif isinstance(event, OrchestratorKill):
+                if self.control_plane is None:
+                    raise SimulationError(
+                        "plan contains an OrchestratorKill but the "
+                        "injector has no control_plane to suspend"
+                    )
+                self.engine.schedule_at(
+                    event.at_s, partial(self._kill_orchestrator, event)
                 )
             elif isinstance(event, ProbeBlackout):
                 # Blackouts touch no substrate state; the detector asks
@@ -178,7 +194,7 @@ class FaultInjector:
         if event.reboot_after_s is not None:
             self.engine.schedule_in(
                 event.reboot_after_s,
-                lambda: self._reboot_node(event.node, event_id),
+                partial(self._reboot_node, event.node, event_id),
             )
 
     def _reboot_node(self, node: str, cause: Optional[int]) -> None:
@@ -195,7 +211,7 @@ class FaultInjector:
         if event.restore_after_s is not None:
             self.engine.schedule_in(
                 event.restore_after_s,
-                lambda: self._restore_link(event.a, event.b, event_id),
+                partial(self._restore_link, event.a, event.b, event_id),
             )
 
     def _restore_link(self, a: str, b: str, cause: Optional[int]) -> None:
@@ -208,13 +224,14 @@ class FaultInjector:
         for _ in range(event.cycles):
             self.engine.schedule_at(
                 t,
-                lambda e=event: self._fail_link(
-                    LinkDown(at_s=0.0, a=e.a, b=e.b)
+                partial(
+                    self._fail_link,
+                    LinkDown(at_s=0.0, a=event.a, b=event.b),
                 ),
             )
             self.engine.schedule_at(
                 t + event.down_s,
-                lambda e=event: self._restore_link(e.a, e.b, None),
+                partial(self._restore_link, event.a, event.b, None),
             )
             t += event.down_s + event.up_s
 
@@ -237,7 +254,7 @@ class FaultInjector:
         if event.heal_after_s is not None:
             self.engine.schedule_in(
                 event.heal_after_s,
-                lambda: self._heal_partition(cross, group, event_id),
+                partial(self._heal_partition, cross, group, event_id),
             )
 
     def _heal_partition(
@@ -256,6 +273,28 @@ class FaultInjector:
             "partition",
             "|".join(sorted(group)),
             impact,
+            cleared=True,
+            cause=cause,
+        )
+
+    def _kill_orchestrator(self, event: OrchestratorKill) -> None:
+        self.control_plane.suspend()
+        event_id = self._record(
+            "orchestrator_kill",
+            "control-plane",
+            {"removed": [], "rerouted": []},
+            down_s=event.down_s,
+        )
+        self.engine.schedule_in(
+            event.down_s, partial(self._resume_orchestrator, event_id)
+        )
+
+    def _resume_orchestrator(self, cause: Optional[int]) -> None:
+        self.control_plane.resume()
+        self._record(
+            "orchestrator_kill",
+            "control-plane",
+            {"removed": [], "rerouted": []},
             cleared=True,
             cause=cause,
         )

@@ -95,7 +95,27 @@ class ProbeBlackout:
     duration_s: float
 
 
-FaultEvent = Union[NodeCrash, LinkDown, LinkFlap, Partition, ProbeBlackout]
+@dataclass(frozen=True)
+class OrchestratorKill:
+    """The control-plane process dies at ``at_s`` and is brought back
+    ``down_s`` seconds later.
+
+    Unlike a :class:`NodeCrash` this touches no substrate state — the
+    mesh keeps routing, pods keep serving, the failure detector keeps
+    beating.  What stops is *decision making*: every controller epoch
+    task is cancelled, and recoveries confirmed during the outage are
+    deferred until the orchestrator resumes.  This is the BASS-paper
+    blind spot the failover experiment measures: in a community mesh
+    the controller node is just another flaky box.
+    """
+
+    at_s: float
+    down_s: float
+
+
+FaultEvent = Union[
+    NodeCrash, LinkDown, LinkFlap, Partition, ProbeBlackout, OrchestratorKill
+]
 
 
 @dataclass
@@ -175,6 +195,11 @@ class FaultPlan:
                 if event.duration_s <= 0:
                     raise SimulationError(
                         f"blackout duration must be positive: {event!r}"
+                    )
+            elif isinstance(event, OrchestratorKill):
+                if event.down_s <= 0:
+                    raise SimulationError(
+                        f"orchestrator down_s must be positive: {event!r}"
                     )
             else:  # pragma: no cover - guarded by the FaultEvent union
                 raise SimulationError(f"unknown fault event {event!r}")

@@ -68,6 +68,12 @@ class RecoveryCoordinator:
         self.cp = control_plane
         self.tracer = resolve_tracer(tracer)
         self.actions: list[RecoveryAction] = []
+        #: Confirmations received while the orchestrator was suspended
+        #: (node, cause event, detection latency) — drained on resume.
+        self.deferred: list[tuple[str, Optional[int], Optional[float]]] = []
+        #: Total recoveries ever deferred (the failover experiment's
+        #: "decisions deferred" metric; ``deferred`` itself drains).
+        self.deferred_total = 0
 
     # -- derived views -----------------------------------------------------
 
@@ -84,6 +90,7 @@ class RecoveryCoordinator:
         return {
             "recovered": self.recovered_count,
             "failed": self.failed_count,
+            "deferred": len(self.deferred),
             "recent_actions": [
                 {
                     "time": action.time,
@@ -111,7 +118,24 @@ class RecoveryCoordinator:
         ``cause`` is the ``node.confirmed_dead`` trace event, so the
         emitted ``recovery.plan`` (and through it each ``restart``)
         chains back to the detection.
+
+        While the orchestrator is suspended (see
+        :meth:`~repro.core.controlplane.ControlPlane.suspend`) nothing
+        is re-placed: the confirmation is queued and honoured when the
+        plane resumes — a dead orchestrator cannot make decisions.
         """
+        if self.cp.suspended:
+            self.deferred.append((node, cause, detection_latency_s))
+            self.deferred_total += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "recovery.deferred",
+                    self.cp.netem.now,
+                    cause=cause,
+                    node=node,
+                    detection_latency_s=detection_latency_s,
+                )
+            return []
         netem = self.cp.netem
         orchestrator = self.cp.orchestrator
         arbiter = self.cp.arbiter
@@ -181,6 +205,22 @@ class RecoveryCoordinator:
 
             check_cluster_ledger(orchestrator.cluster)
         return round_actions
+
+    def drain_deferred(self) -> list[RecoveryAction]:
+        """Run the recoveries that were confirmed during an outage.
+
+        Called by ``ControlPlane.resume``.  Nodes that came back up
+        while the orchestrator was down need no recovery and are
+        skipped (their pods never left the ledger).
+        """
+        pending, self.deferred = self.deferred, []
+        actions: list[RecoveryAction] = []
+        down = self.cp.netem.topology.down_nodes
+        for node, cause, latency in pending:
+            if node not in down:
+                continue
+            actions.extend(self.recover_from(node, cause, latency))
+        return actions
 
     def _replace_one(
         self,

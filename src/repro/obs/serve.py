@@ -150,63 +150,129 @@ class LiveRun:
     The HTTP thread and the stepping thread share :attr:`lock`: every
     endpoint renders under it, and :meth:`step` advances the clock
     under it, so scrapes always observe a consistent simulation state.
+
+    Internally the run is a :class:`~repro.snap.capsule.RunCapsule` —
+    the picklable root object the checkpoint subsystem serializes — so
+    a served run can be snapshotted on SIGTERM and resumed by a fresh
+    ``bass-repro serve --checkpoint-dir`` process.
     """
 
-    def __init__(self, scenario: LiveScenario, plane: StatusPlane) -> None:
+    def __init__(
+        self, scenario: LiveScenario, plane: StatusPlane, *, capsule=None
+    ) -> None:
+        from ..snap.capsule import RunCapsule
+
         self.scenario = scenario
         self.plane = plane
+        self.capsule = (
+            capsule
+            if capsule is not None
+            else RunCapsule(
+                scenario=scenario.name,
+                env=scenario.env,
+                duration_s=scenario.duration_s,
+                tick_s=scenario.tick_s,
+                on_tick=scenario.on_tick,
+                events=tuple(scenario.events),
+            )
+        )
         self.lock = threading.Lock()
-        self._started = False
+
+    @classmethod
+    def from_capsule(cls, capsule, plane: StatusPlane) -> "LiveRun":
+        """Wrap a capsule restored from a checkpoint (mid-run: its heap
+        already carries the armed ticker and timeline events)."""
+        scenario = LiveScenario(
+            name=capsule.scenario,
+            env=capsule.env,
+            duration_s=capsule.duration_s,
+            events=tuple(capsule.events),
+            on_tick=capsule.on_tick,
+            tick_s=capsule.tick_s,
+        )
+        return cls(scenario, plane, capsule=capsule)
 
     @property
     def env(self):
-        return self.scenario.env
+        return self.capsule.env
 
     @property
     def engine(self):
-        return self.scenario.env.engine
+        return self.capsule.env.engine
 
     @property
     def control_plane(self):
-        return self.scenario.env.control_plane
+        return self.capsule.env.control_plane
 
     @property
     def done(self) -> bool:
-        return self.engine.now >= self.scenario.duration_s - _EPSILON
+        return self.capsule.done
 
     def start(self) -> None:
         """Arm the emulator, tick observer, and timeline events — the
-        same order as ``run_timeline``, so decisions match batch."""
-        if self._started:
-            return
-        self._started = True
-        scenario = self.scenario
-        env = scenario.env
-        env.netem.start()
-        if scenario.on_tick is not None:
-            env.engine.every(
-                scenario.tick_s,
-                lambda: scenario.on_tick(env.engine.now),
-            )
-        for time, callback in scenario.events:
-            env.engine.schedule_at(time, callback)
+        same order as ``run_timeline``, so decisions match batch.  A
+        no-op on a restored capsule (everything is already armed)."""
+        self.capsule.start()
 
     def step(self, sim_seconds: float) -> float:
         """Advance the clock by up to ``sim_seconds``; returns now."""
         with self.lock:
-            target = min(
-                self.engine.now + sim_seconds, self.scenario.duration_s
-            )
-            self.engine.run_until(target)
-            return self.engine.now
+            return self.capsule.run_until(self.engine.now + sim_seconds)
 
-    def finish(self) -> None:
-        """Publish one final status snapshot and seal the trace."""
+    def finish(self, *, policy=None, checkpoint: bool = False):
+        """Publish one final status snapshot, optionally write a final
+        checkpoint, and seal the trace — in that order, so the snapshot
+        captures the bumped status revision and the still-open trace
+        shard (a restore resumes appending to it; the seal that follows
+        makes the on-disk trace complete even if nobody ever resumes).
+
+        Returns the final checkpoint's path, or None."""
         with self.lock:
             self.plane.publisher.publish(
                 self.engine.now, self.control_plane.epoch_count
             )
+            path = None
+            if checkpoint and policy is not None:
+                path = policy.write(
+                    label=f"final-t{int(self.engine.now):06d}"
+                )
             self.plane.tracer.close()
+            return path
+
+
+def resume_status_plane(
+    capsule, *, status_path: str | Path
+) -> StatusPlane:
+    """Rebuild the :class:`StatusPlane` around a restored capsule.
+
+    A serve-written checkpoint pickles the whole plane — publisher
+    (with its monotonic revision), rolling windows, watchdog, tracer —
+    inside the capsule's object graph; this just re-collects the
+    references and re-points the publisher at this process's status
+    path.  The revision keeps counting from where the killed process
+    left off.
+    """
+    publisher = capsule.control_plane.status
+    if publisher is None:
+        raise ValueError(
+            "checkpoint has no status plane attached — it was written "
+            "by 'bass-repro run', not 'bass-repro serve'; restore it "
+            "with 'bass-repro run --restore-from' instead"
+        )
+    publisher.path = Path(status_path)
+    tracer = capsule.env.tracer
+    registry = (
+        tracer.instruments.registry
+        if getattr(tracer, "instruments", None) is not None
+        else InstrumentRegistry()
+    )
+    return StatusPlane(
+        tracer=tracer,
+        registry=registry,
+        windows=publisher.windows,
+        watchdog=publisher.watchdog,
+        publisher=publisher,
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -304,19 +370,31 @@ class ServeOptions:
     window_s: float = 300.0
     rules: tuple[SloRule, ...] = field(default=DEFAULT_SLO_RULES)
     linger: bool = True  # keep serving after the run until signalled
+    #: Checkpoint directory: periodic snapshots every
+    #: ``checkpoint_every`` epochs plus a final one on SIGTERM; if the
+    #: directory already holds a checkpoint, the server resumes from it
+    #: instead of starting the scenario fresh.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 5
 
 
 def serve_run(options: ServeOptions) -> int:
     """The ``bass-repro serve`` entry point: tick a scenario to its
     horizon while serving the status plane; afterwards keep serving
-    until SIGINT/SIGTERM, then shut down cleanly."""
-    sink = (
-        StreamingSink(options.stream_dir)
-        if options.stream_dir is not None
-        else None
-    )
-    tracer = Tracer.with_instruments(sink=sink)
-    previous = set_default_tracer(tracer)
+    until SIGINT/SIGTERM, then shut down cleanly.
+
+    With ``checkpoint_dir``, the run writes periodic snapshots and a
+    final one on SIGTERM (after publishing status, before sealing the
+    trace shard), and a later ``serve --checkpoint-dir`` on the same
+    directory resumes the killed run — same status revision counter,
+    same trace shard, same decisions as if never interrupted.
+    """
+    resume_from = None
+    if options.checkpoint_dir is not None:
+        from ..snap import latest_checkpoint
+
+        resume_from = latest_checkpoint(options.checkpoint_dir)
+
     stop = threading.Event()
 
     def _on_signal(signum, frame):  # noqa: ANN001 - signal signature
@@ -327,38 +405,90 @@ def serve_run(options: ServeOptions) -> int:
         for sig in (signal.SIGINT, signal.SIGTERM)
     }
     server: Optional[LiveStatusServer] = None
+    previous = None
     try:
-        scenario = build_scenario(options.scenario, quick=options.quick)
-        if options.duration_s is not None:
-            scenario.duration_s = options.duration_s
-        plane = attach_status_plane(
-            scenario.env.control_plane,
-            tracer,
-            status_path=options.status_path,
-            every_k_epochs=options.status_every,
-            window_s=options.window_s,
-            rules=options.rules,
-        )
-        live = LiveRun(scenario, plane)
+        if resume_from is not None:
+            from ..snap import read_snapshot
+
+            meta, capsule = read_snapshot(resume_from)
+            tracer = capsule.env.tracer
+            previous = set_default_tracer(tracer)
+            plane = resume_status_plane(
+                capsule, status_path=options.status_path
+            )
+            live = LiveRun.from_capsule(capsule, plane)
+            print(
+                f"resuming {capsule.scenario} from {resume_from} at "
+                f"t={meta.sim_time_s:.0f}s (epoch "
+                f"{live.control_plane.epoch_count}, status revision "
+                f"{plane.publisher.revision})"
+            )
+        else:
+            sink = (
+                StreamingSink(options.stream_dir)
+                if options.stream_dir is not None
+                else None
+            )
+            tracer = Tracer.with_instruments(sink=sink)
+            previous = set_default_tracer(tracer)
+            scenario = build_scenario(options.scenario, quick=options.quick)
+            if options.duration_s is not None:
+                scenario.duration_s = options.duration_s
+            plane = attach_status_plane(
+                scenario.env.control_plane,
+                tracer,
+                status_path=options.status_path,
+                every_k_epochs=options.status_every,
+                window_s=options.window_s,
+                rules=options.rules,
+            )
+            live = LiveRun(scenario, plane)
+
+        policy = live.control_plane.checkpoints
+        if options.checkpoint_dir is not None:
+            from pathlib import Path as _Path
+
+            from ..snap import CheckpointPolicy
+
+            if policy is None:
+                policy = CheckpointPolicy(
+                    options.checkpoint_dir,
+                    every_k_epochs=options.checkpoint_every,
+                )
+                policy.bind(live.capsule)
+                live.control_plane.attach_checkpoints(policy)
+            else:
+                # Keep the pickled cadence (it shapes the event heap);
+                # only re-point the directory at this invocation's.
+                policy.directory = _Path(options.checkpoint_dir)
+
         server = start_server(live, host=options.host, port=options.port)
         host, port = server.server_address[:2]
         print(
-            f"serving {scenario.name} on http://{host}:{port} "
+            f"serving {live.scenario.name} on http://{host}:{port} "
             f"(/metrics /v1/status /v1/epoch), horizon "
-            f"{scenario.duration_s:.0f}s sim"
+            f"{live.scenario.duration_s:.0f}s sim"
         )
         live.start()
         while not stop.is_set() and not live.done:
             live.step(options.step_s)
             if options.pace > 0:
                 stop.wait(options.step_s / options.pace)
-        live.finish()
-        print(
-            f"run complete at t={live.engine.now:.0f}s "
-            f"({live.control_plane.epoch_count} epochs, "
-            f"status revision {plane.publisher.revision})"
-        )
-        if options.linger:
+        interrupted = not live.done
+        final = live.finish(policy=policy, checkpoint=interrupted)
+        if final is not None:
+            print(
+                f"interrupted at t={live.engine.now:.0f}s; checkpoint "
+                f"-> {final} (resume with: bass-repro serve "
+                f"--checkpoint-dir {options.checkpoint_dir})"
+            )
+        else:
+            print(
+                f"run complete at t={live.engine.now:.0f}s "
+                f"({live.control_plane.epoch_count} epochs, "
+                f"status revision {plane.publisher.revision})"
+            )
+        if options.linger and not interrupted:
             print("serving until SIGINT/SIGTERM ...")
             while not stop.is_set():
                 stop.wait(0.2)
@@ -366,7 +496,8 @@ def serve_run(options: ServeOptions) -> int:
         if server is not None:
             server.shutdown()
             server.server_close()
-        set_default_tracer(previous)
+        if previous is not None:
+            set_default_tracer(previous)
         for sig, handler in original_handlers.items():
             signal.signal(sig, handler)
     return 0

@@ -113,6 +113,11 @@ class StreamingSink:
         """Seal and publish the in-progress shard; idempotent."""
         if self.closed:
             return
+        if self._handle is None and self._shard_count > 0:
+            # Restored from a checkpoint and closed before the next
+            # append: reopen (truncating past-checkpoint lines) so the
+            # in-progress shard still seals correctly.
+            self._open_shard()
         if self._handle is not None:
             if self._shard_count > 0:
                 self._seal_shard()
@@ -122,16 +127,67 @@ class StreamingSink:
                 self._handle = None
         self.closed = True
 
+    # -- checkpoint support --------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle support: flush, then drop the OS file handle.
+
+        The shard position (``_shard_index``, ``_shard_count``) rides
+        along; the handle is reopened — truncating any lines the dying
+        process wrote past this point — on the next append or close.
+        """
+        self.flush()
+        state = self.__dict__.copy()
+        state["_handle"] = None
+        state["_tmp_path"] = None
+        return state
+
     # -- shard bookkeeping -------------------------------------------------
 
     def _shard_name(self, index: int) -> str:
         return f"trace-{index:05d}.jsonl"
 
     def _open_shard(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
         self._tmp_path = self.directory / (
             self._shard_name(self._shard_index) + ".tmp"
         )
-        self._handle = open(self._tmp_path, "w")
+        if self._shard_count > 0:
+            self._resume_shard()
+        else:
+            self._handle = open(self._tmp_path, "w")
+
+    def _resume_shard(self) -> None:
+        """Reopen the in-progress shard after a checkpoint restore.
+
+        ``_shard_count`` records how many lines the shard held when the
+        sink was serialized.  The killed process may have (a) written
+        further lines past the checkpoint into the ``.tmp`` file, or
+        (b) sealed the shard early during SIGTERM shutdown.  Either
+        way, exactly the first ``_shard_count`` lines are kept and the
+        shard is reopened for append, so the restored run's shards are
+        byte-identical to an uninterrupted run's.
+        """
+        sealed = self.directory / self._shard_name(self._shard_index)
+        source = self._tmp_path if self._tmp_path.exists() else sealed
+        if not source.exists():
+            raise FileNotFoundError(
+                f"cannot resume trace shard {self._tmp_path.name}: neither "
+                f"it nor {sealed.name} exists in {self.directory}"
+            )
+        with open(source) as handle:
+            lines = handle.readlines()
+        if len(lines) < self._shard_count:
+            raise ValueError(
+                f"trace shard {source.name} has {len(lines)} lines but the "
+                f"checkpoint recorded {self._shard_count}; refusing to "
+                "resume from a truncated shard"
+            )
+        with open(self._tmp_path, "w") as handle:
+            handle.writelines(lines[: self._shard_count])
+        if source == sealed:
+            sealed.unlink()
+        self._handle = open(self._tmp_path, "a")
 
     def _seal_shard(self) -> None:
         self._handle.close()

@@ -78,6 +78,9 @@ EVENT_KINDS = (
     "sweep.done",  # all cells settled; summary stats attached
     "slo.breach",  # a watchdog rule crossed its rolling-window ceiling
     "status.published",  # the status publisher snapshotted status.json
+    "recovery.deferred",  # confirmation arrived while orchestrator down
+    "orchestrator.suspended",  # control-plane process died (chaos kill)
+    "orchestrator.resumed",  # control plane back; deferred work drains
 )
 
 
@@ -175,9 +178,19 @@ class NullTracer(TracerBase):
     ) -> None:
         pass
 
+    def __reduce__(self):
+        # Checkpoints must restore the *singleton*: instrumented code
+        # compares against NULL_TRACER by identity in places, and a
+        # fresh copy per unpickle would break that.
+        return (_resolve_null_tracer, ())
+
 
 #: The shared no-op tracer instrumented components default to.
 NULL_TRACER = NullTracer()
+
+
+def _resolve_null_tracer() -> NullTracer:
+    return NULL_TRACER
 
 
 class Tracer(TracerBase):

@@ -1,0 +1,74 @@
+"""Snapshot-aware process-global sequences.
+
+A few subsystems hand out process-unique identifiers from module-level
+counters — probe flow ids, heartbeat flow ids — because uniqueness must
+hold across *every* instance sharing one emulator.  ``itertools.count``
+served that need but is opaque: its next value cannot be read, set, or
+serialized, so a run restored into a fresh process would restart the
+numbering and hand out flow ids the restored emulator already knows.
+
+:class:`MonotonicSequence` is the drop-in replacement: same ``next(seq)``
+protocol and the same numbering, but the current position is inspectable
+and settable, and every sequence created through :func:`sequence` is
+registered by name so the checkpoint subsystem (:mod:`repro.snap`) can
+capture and restore the whole process's counter state in one call.
+"""
+
+from __future__ import annotations
+
+
+class MonotonicSequence:
+    """An ``itertools.count`` whose position can be read and restored."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, start: int = 1) -> None:
+        self.name = name
+        self._value = start
+
+    def __next__(self) -> int:
+        value = self._value
+        self._value += 1
+        return value
+
+    def __iter__(self) -> "MonotonicSequence":
+        return self
+
+    @property
+    def value(self) -> int:
+        """The next value :func:`next` will hand out."""
+        return self._value
+
+    def set(self, value: int) -> None:
+        """Move the sequence so the next draw returns ``value``."""
+        self._value = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MonotonicSequence({self.name!r}, next={self._value})"
+
+
+#: Every sequence created through :func:`sequence`, by name.
+_REGISTRY: dict[str, MonotonicSequence] = {}
+
+
+def sequence(name: str, start: int = 1) -> MonotonicSequence:
+    """The named process-global sequence (created on first use)."""
+    seq = _REGISTRY.get(name)
+    if seq is None:
+        seq = _REGISTRY[name] = MonotonicSequence(name, start)
+    return seq
+
+
+def sequence_state() -> dict[str, int]:
+    """Next-value of every registered sequence (snapshot payload)."""
+    return {name: seq.value for name, seq in sorted(_REGISTRY.items())}
+
+
+def restore_sequence_state(state: dict[str, int]) -> None:
+    """Restore registered sequences to a captured :func:`sequence_state`.
+
+    Sequences absent from ``state`` are left alone (they were created
+    after the snapshot and their numbering is already independent).
+    """
+    for name, value in state.items():
+        sequence(name).set(value)

@@ -18,7 +18,6 @@ Example:
 from __future__ import annotations
 
 import heapq
-import itertools
 import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -183,7 +182,9 @@ class Engine:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._queue: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        # A plain int, not itertools.count: the engine (including its
+        # tie-break position) must serialize into checkpoints.
+        self._seq = 0
         self._running = False
         self._processed = 0
         self._cancelled_pending = 0
@@ -231,17 +232,43 @@ class Engine:
         """
         self._cancelled_pending += 1
         if self._cancelled_pending * 2 > len(self._queue):
-            for event in self._queue:
-                if event.cancelled:
-                    event.done = True
-            self._queue = [e for e in self._queue if not e.cancelled]
-            heapq.heapify(self._queue)
-            self._cancelled_pending = 0
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify the live events.
+
+        Safe at any point — execution order depends only on each
+        event's ``(time, seq)`` key, never on heap layout.  Called
+        automatically once tombstones dominate, and by checkpointing so
+        snapshots never serialize dead entries.
+        """
+        if self._cancelled_pending == 0:
+            return
+        for event in self._queue:
+            if event.cancelled:
+                event.done = True
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     @property
     def processed_events(self) -> int:
         """Total events executed since construction."""
         return self._processed
+
+    def __getstate__(self) -> dict:
+        """Pickle support for checkpoints (:mod:`repro.snap`).
+
+        The heap is compacted first so snapshots carry only live
+        events, and ``_running`` is normalized to False: a checkpoint
+        written from inside an executing event (the deferred-write path
+        of ``CheckpointPolicy``) must restore into an engine that can
+        be run again.
+        """
+        self.compact()
+        state = self.__dict__.copy()
+        state["_running"] = False
+        return state
 
     def schedule_at(self, time: float, callback: Callback) -> ScheduledEvent:
         """Schedule ``callback`` at absolute time ``time``.
@@ -254,8 +281,9 @@ class Engine:
                 f"cannot schedule event at {time} before now={self._now}"
             )
         event = ScheduledEvent(
-            time=time, seq=next(self._seq), callback=callback, _engine=self
+            time=time, seq=self._seq, callback=callback, _engine=self
         )
+        self._seq += 1
         heapq.heappush(self._queue, event)
         return event
 

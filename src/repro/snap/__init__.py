@@ -1,0 +1,56 @@
+"""Checkpoint/restore: durable snapshots and deterministic resume.
+
+The subsystem serializes the *entire* run state — engine clock and
+pending-event heap, RNG stream positions, emulator flows, cluster
+ledger, control-plane epochs/claims/handoffs, tracer, status publisher
+— into a versioned, fingerprinted snapshot file, and restores it into a
+fresh process such that ticking to completion is byte-identical to the
+uninterrupted run (the invariant the checkpoint goldens pin).
+
+Layers:
+
+* :mod:`repro.snap.snapshot` — the on-disk format: atomic writes, a
+  JSON header carrying schema version + code fingerprint + payload
+  digest, and refuse-to-restore on any mismatch.
+* :mod:`repro.snap.capsule` — :class:`RunCapsule`, the picklable root
+  object bundling a scenario's substrate with its timeline.
+* :mod:`repro.snap.policy` — :class:`CheckpointPolicy`, the every-k-
+  epochs / on-SIGTERM trigger attached via
+  ``ControlPlane.attach_checkpoints``.
+* :mod:`repro.snap.scenarios` — builders/finishers for the
+  checkpointable scenarios (fig13, churn, fleet, failover).
+"""
+
+from .capsule import RunCapsule
+from .policy import CheckpointPolicy
+from .scenarios import SCENARIOS, build_capsule, finish_capsule
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotFingerprintError,
+    SnapshotMeta,
+    SnapshotVersionError,
+    inspect_snapshot,
+    latest_checkpoint,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "SNAPSHOT_VERSION",
+    "CheckpointPolicy",
+    "RunCapsule",
+    "build_capsule",
+    "finish_capsule",
+    "SnapshotCorruptError",
+    "SnapshotError",
+    "SnapshotFingerprintError",
+    "SnapshotMeta",
+    "SnapshotVersionError",
+    "inspect_snapshot",
+    "latest_checkpoint",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,201 @@
+"""Capsule builders for the checkpointable scenarios.
+
+``bass-repro run --checkpoint-dir`` (and the CI checkpoint smoke leg)
+needs scenarios it can cut at an arbitrary tick and resume elsewhere:
+:func:`build_capsule` assembles one of ``fig13`` / ``churn`` / ``fleet``
+/ ``failover`` as a :class:`~repro.snap.capsule.RunCapsule` without
+running the clock, and :func:`finish_capsule` turns a completed capsule
+into a deterministic, JSON-serializable summary — the document the CI
+leg byte-compares between the interrupted and uninterrupted runs.
+
+The substrates are the exact prepared experiments the batch paths
+drive (:func:`~repro.experiments.migration.prepare_fig13_cell`,
+:func:`~repro.experiments.churn.prepare_churn`,
+:func:`~repro.experiments.fleet.prepare_fleet`,
+:func:`~repro.experiments.failover.prepare_failover`), so a capsule run
+makes the same decisions the batch run would — restore determinism
+rides on batch determinism, which the existing goldens already pin.
+"""
+
+from __future__ import annotations
+
+from .capsule import RunCapsule
+
+#: Scenario names ``bass-repro run --checkpoint-dir/--restore-from``
+#: accepts (the capsule-shaped subset of the experiment catalogue).
+SCENARIOS = ("fig13", "churn", "fleet", "failover")
+
+
+class Fig13Sampler:
+    """Per-tick latency sampling for the fig13 capsule.
+
+    A class (not a closure) so the capsule pickles: the sampler, its
+    cell, and the accumulated series all travel inside the snapshot,
+    and a restored run keeps appending to the same lists.
+    """
+
+    __slots__ = ("cell", "times", "latency_s")
+
+    def __init__(self, cell) -> None:
+        self.cell = cell
+        self.times: list[float] = []
+        self.latency_s: list[float] = []
+
+    def __call__(self, now: float) -> None:
+        self.times.append(now)
+        self.latency_s.append(self.cell.sample_latency_s())
+
+
+def build_capsule(
+    name: str, *, quick: bool = False, regions: int = 2
+) -> RunCapsule:
+    """Assemble a checkpointable scenario without running the clock.
+
+    ``quick`` shortens horizons for CI; ``regions`` sizes the fleet
+    scenario.  The process-default tracer (set by ``run --trace``) is
+    picked up by ``build_env`` inside the prepared experiments.
+    """
+    if name == "fig13":
+        from ..experiments.migration import prepare_fig13_cell
+
+        cell = prepare_fig13_cell(30.0)
+        sampler = Fig13Sampler(cell)
+        restrict_at_s = 10.0
+        restrict_for_s = 60.0 if quick else 180.0
+        return RunCapsule(
+            scenario="fig13",
+            env=cell.env,
+            duration_s=120.0 if quick else 300.0,
+            on_tick=sampler,
+            events=(
+                (restrict_at_s, cell.throttle),
+                (restrict_at_s + restrict_for_s, cell.unthrottle),
+            ),
+            extras={"cell": cell, "sampler": sampler},
+        )
+    if name == "churn":
+        from ..experiments.churn import prepare_churn
+
+        prepared = prepare_churn()
+        return RunCapsule(
+            scenario="churn",
+            env=prepared.env,
+            duration_s=160.0 if quick else 240.0,
+            on_tick=prepared.sample,
+            extras={"prepared": prepared},
+        )
+    if name == "fleet":
+        from ..experiments.fleet import prepare_fleet
+
+        prepared = prepare_fleet(regions=regions, tenants=2 * regions)
+        return RunCapsule(
+            scenario="fleet",
+            env=prepared.env,
+            duration_s=120.0 if quick else 240.0,
+            events=tuple(prepared.events),
+            extras={"prepared": prepared},
+        )
+    if name == "failover":
+        from ..experiments.failover import prepare_failover
+
+        prepared = prepare_failover()
+        return RunCapsule(
+            scenario="failover",
+            env=prepared.env,
+            duration_s=180.0 if quick else 240.0,
+            on_tick=prepared.sample,
+            extras={"prepared": prepared},
+        )
+    raise ValueError(
+        f"scenario {name!r} is not checkpointable (expected one of "
+        f"{SCENARIOS})"
+    )
+
+
+def finish_capsule(capsule: RunCapsule) -> dict:
+    """A deterministic summary of a completed capsule.
+
+    Every value is a plain JSON type derived purely from simulation
+    state, so two runs that made the same decisions — e.g. an
+    interrupted-and-restored run vs an uninterrupted one — serialize to
+    byte-identical documents.
+    """
+    duration = capsule.duration_s
+    cp = capsule.control_plane
+    summary: dict = {
+        "scenario": capsule.scenario,
+        "duration_s": duration,
+        "sim_time_s": capsule.engine.now,
+        "epochs": cp.epoch_count if cp is not None else 0,
+    }
+    if capsule.scenario == "fig13":
+        cell = capsule.extras["cell"]
+        sampler = capsule.extras["sampler"]
+        summary.update(
+            {
+                "samples": len(sampler.times),
+                "mean_latency_s": (
+                    sum(sampler.latency_s) / len(sampler.latency_s)
+                    if sampler.latency_s
+                    else 0.0
+                ),
+                "migrations": len(cell.handle.deployment.migrations),
+            }
+        )
+        return summary
+    if capsule.scenario == "churn":
+        result = capsule.extras["prepared"].result(duration)
+        stats = result.goodput_stats
+        summary.update(
+            {
+                "samples": len(result.times),
+                "detection_latency_s": result.detection_latency_s,
+                "recovered_pods": result.recovered_pods,
+                "stranded_pods": result.stranded_pods,
+                "conflicts": result.conflict_count,
+                "goodput_pre_mean": stats.pre_mean,
+                "goodput_dip_min": stats.dip_min,
+                "goodput_post_mean": stats.post_mean,
+                "time_to_recover_s": stats.time_to_recover_s,
+            }
+        )
+        return summary
+    if capsule.scenario == "fleet":
+        result = capsule.extras["prepared"].result(duration)
+        summary.update(
+            {
+                "regions": result.regions,
+                "tenants": result.tenants,
+                "full_probes": result.full_probes,
+                "headroom_probes": result.headroom_probes,
+                "conflicts": result.conflict_count,
+                "committed_handoffs": result.committed_handoffs,
+                "migrations": result.total_migrations,
+                "cross_region_migrations": result.cross_region_migrations,
+                "tenants_by_region": dict(
+                    sorted(result.tenants_by_region.items())
+                ),
+            }
+        )
+        return summary
+    if capsule.scenario == "failover":
+        result = capsule.extras["prepared"].result(duration)
+        stats = result.goodput_stats
+        summary.update(
+            {
+                "kill_at_s": result.kill_at_s,
+                "down_s": result.down_s,
+                "resume_at_s": result.resume_at_s,
+                "missed_epochs": result.missed_epochs,
+                "deferred_recoveries": result.deferred_recoveries,
+                "resume_epoch_gap": result.resume_epoch_gap,
+                "recovered_pods": result.churn.recovered_pods,
+                "detection_latency_s": result.churn.detection_latency_s,
+                "goodput_pre_mean": stats.pre_mean,
+                "goodput_dip_min": stats.dip_min,
+                "goodput_post_mean": stats.post_mean,
+                "time_to_recover_s": stats.time_to_recover_s,
+            }
+        )
+        return summary
+    raise ValueError(f"no finisher for scenario {capsule.scenario!r}")

@@ -1,0 +1,136 @@
+"""The checkpoint invariant, end to end: a run checkpointed at tick T
+and restored (same process or a fresh one) must finish byte-identical
+to the uninterrupted run — summaries and JSONL traces alike."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.stream import StreamingSink
+from repro.obs.trace import Tracer, set_default_tracer
+from repro.snap import (
+    build_capsule,
+    finish_capsule,
+    read_snapshot,
+    write_snapshot,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _summary(capsule):
+    """Run to completion and render the deterministic summary bytes."""
+    capsule.run_to_completion()
+    return json.dumps(
+        finish_capsule(capsule), indent=2, sort_keys=True
+    ).encode()
+
+
+def _interrupted_summary(scenario, cut_s, tmp_path, **kwargs):
+    """Run to ``cut_s``, snapshot, discard, restore, finish."""
+    capsule = build_capsule(scenario, quick=True, **kwargs)
+    capsule.run_until(cut_s)
+    path = tmp_path / f"{scenario}.bass"
+    meta = write_snapshot(path, capsule)
+    assert meta.sim_time_s == cut_s
+    del capsule
+    _, restored = read_snapshot(path)
+    return _summary(restored)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "scenario,cut_s",
+        [("fig13", 40.0), ("churn", 70.0), ("failover", 80.0)],
+    )
+    def test_restore_matches_uninterrupted(
+        self, scenario, cut_s, tmp_path
+    ):
+        reference = _summary(build_capsule(scenario, quick=True))
+        restored = _interrupted_summary(scenario, cut_s, tmp_path)
+        assert restored == reference
+
+    def test_fleet_two_regions(self, tmp_path):
+        reference = _summary(build_capsule("fleet", quick=True, regions=2))
+        restored = _interrupted_summary("fleet", 70.0, tmp_path, regions=2)
+        assert restored == reference
+
+    def test_streaming_trace_shards_survive_the_cut(self, tmp_path):
+        """The invariant covers traces, not just summaries: concatenated
+        shards of the resumed run equal the uninterrupted run's."""
+
+        def run(shard_dir, cut_s=None):
+            tracer = Tracer.with_instruments(
+                sink=StreamingSink(shard_dir, window=64, shard_events=50)
+            )
+            previous = set_default_tracer(tracer)
+            try:
+                capsule = build_capsule("churn", quick=True)
+                if cut_s is not None:
+                    capsule.run_until(cut_s)
+                    path = shard_dir.parent / "cut.bass"
+                    write_snapshot(path, capsule)
+                    del capsule, tracer
+                    _, capsule = read_snapshot(path)
+                    set_default_tracer(capsule.env.tracer)
+                summary = _summary(capsule)
+                capsule.env.tracer.close()
+            finally:
+                set_default_tracer(previous)
+            sink = StreamingSink(shard_dir)  # read side only
+            shards = b"".join(p.read_bytes() for p in sink.shard_paths())
+            return summary, shards
+
+        ref_summary, ref_shards = run(tmp_path / "ref")
+        cut_summary, cut_shards = run(tmp_path / "cut", cut_s=70.0)
+        assert cut_summary == ref_summary
+        assert cut_shards == ref_shards
+        assert len(ref_shards) > 0
+
+
+class TestFreshProcessRestore:
+    def test_cli_stop_restore_matches_uninterrupted(self, tmp_path):
+        """The full invariant across a process boundary, via the CLI:
+        run to t=70, checkpoint, restore in a *fresh* interpreter, run
+        to completion — summary bytes equal the uninterrupted run's."""
+        environ = dict(os.environ)
+        environ["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+        def cli(*argv):
+            result = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "run", *argv],
+                cwd=REPO_ROOT,
+                env=environ,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert result.returncode == 0, result.stderr
+            return result
+
+        checkpoint_dir = tmp_path / "ckpt"
+        cli(
+            "churn", "--quick",
+            "--checkpoint-dir", str(checkpoint_dir),
+            "--stop-at", "70",
+        )
+        assert list(checkpoint_dir.glob("*.bass"))
+
+        restored = tmp_path / "restored.json"
+        cli(
+            "churn", "--quick",
+            "--restore-from", str(checkpoint_dir),
+            "--out", str(restored),
+        )
+
+        reference = tmp_path / "reference.json"
+        cli(
+            "churn", "--quick",
+            "--checkpoint-dir", str(tmp_path / "ref-ckpt"),
+            "--out", str(reference),
+        )
+        assert restored.read_bytes() == reference.read_bytes()

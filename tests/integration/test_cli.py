@@ -16,7 +16,8 @@ class TestCli:
         expected = {
             "fig2", "fig4", "fig5", "fig8", "fig10", "fig11", "fig12",
             "fig13", "fig14a", "fig14b", "fig14cd", "fig15b", "fig16",
-            "multitenant", "fleet", "churn", "churnsweep", "ablations",
+            "multitenant", "fleet", "churn", "churnsweep", "failover",
+            "ablations",
             "table1", "table2", "table3", "table4",
         }
         assert set(EXPERIMENTS) == expected

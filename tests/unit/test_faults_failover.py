@@ -1,0 +1,136 @@
+"""Orchestrator-kill chaos: suspend semantics, deferred recoveries,
+and the drain-on-resume path the failover experiment measures."""
+
+import pytest
+
+from repro.config import BassConfig
+from repro.errors import SimulationError
+from repro.experiments.common import build_env, deploy_app, run_timeline
+from repro.experiments.multi_tenant import SINK, StreamPairApp
+from repro.faults import (
+    FailureDetector,
+    FaultInjector,
+    FaultPlan,
+    HeartbeatConfig,
+    NodeCrash,
+    OrchestratorKill,
+)
+from repro.mesh.topology import full_mesh_topology
+from repro.obs.trace import Tracer
+
+CONFIG = HeartbeatConfig(
+    interval_s=5.0, suspect_after_misses=2, confirm_after_misses=4
+)
+NO_MIGRATIONS = BassConfig(migrations_enabled=False)
+
+
+def wire_failover(env, *, crash_at_s=30.0, kill_at_s=20.0, down_s=45.0):
+    """node2 crashes while the orchestrator itself is down."""
+    plan = FaultPlan(
+        [
+            NodeCrash(at_s=crash_at_s, node="node2"),
+            OrchestratorKill(at_s=kill_at_s, down_s=down_s),
+        ]
+    )
+    injector = FaultInjector(
+        plan, env.netem, tracer=env.tracer, control_plane=env.control_plane
+    )
+    injector.install()
+    detector = FailureDetector(
+        env.netem, "node1", config=CONFIG, injector=injector,
+        tracer=env.tracer,
+    )
+    detector.start()
+    coordinator = env.control_plane.enable_recovery(detector)
+    return injector, coordinator
+
+
+class TestPlanValidation:
+    def test_down_s_must_be_positive(self):
+        topology = full_mesh_topology(3)
+        for down_s in (0.0, -5.0):
+            plan = FaultPlan([OrchestratorKill(at_s=10.0, down_s=down_s)])
+            with pytest.raises(SimulationError, match="down_s"):
+                plan.validate(topology)
+
+    def test_install_requires_a_control_plane(self):
+        env = build_env(full_mesh_topology(3), seed=5, with_traces=False)
+        plan = FaultPlan([OrchestratorKill(at_s=10.0, down_s=5.0)])
+        injector = FaultInjector(plan, env.netem, tracer=env.tracer)
+        with pytest.raises(SimulationError, match="control_plane"):
+            injector.install()
+
+
+class TestSuspendResume:
+    def test_recovery_deferred_until_resume(self):
+        """A crash confirmed during the outage produces no action until
+        the orchestrator resumes, then drains immediately."""
+        tracer = Tracer()
+        env = build_env(
+            full_mesh_topology(3), seed=5, with_traces=False, tracer=tracer
+        )
+        handle = deploy_app(
+            env,
+            StreamPairApp("app", source_node="node1"),
+            "bass-longest-path",
+            config=NO_MIGRATIONS,
+            force_assignments={SINK: "node2"},
+        )
+        _, coordinator = wire_failover(env)
+
+        # node2's crash at t=30 confirms around t=50 (4 missed 5s
+        # beats after suspicion), squarely inside the 20..65 outage.
+        run_timeline(env, 60.0)
+        assert coordinator.deferred_total == 1
+        assert coordinator.recovered_count == 0
+        assert handle.deployment.node_of(SINK) == "node2"
+
+        run_timeline(env, 120.0)
+        assert coordinator.recovered_count == 1
+        assert coordinator.deferred == []
+        action = coordinator.actions[0]
+        assert action.from_node == "node2"
+        assert handle.deployment.node_of(SINK) == action.to_node
+        # The re-placement happened at the resume instant, not later.
+        assert action.time == pytest.approx(65.0)
+
+        kinds = [event.kind for event in tracer.events]
+        assert "orchestrator.suspended" in kinds
+        assert "recovery.deferred" in kinds
+        assert "orchestrator.resumed" in kinds
+        assert kinds.index("recovery.deferred") < kinds.index(
+            "orchestrator.resumed"
+        )
+
+    def test_outage_window_recorded(self):
+        env = build_env(full_mesh_topology(3), seed=5, with_traces=False)
+        deploy_app(
+            env,
+            StreamPairApp("app", source_node="node1"),
+            "bass-longest-path",
+            config=NO_MIGRATIONS,
+            force_assignments={SINK: "node2"},
+        )
+        wire_failover(env, kill_at_s=20.0, down_s=45.0)
+        run_timeline(env, 120.0)
+        assert env.control_plane.outages == [(20.0, 65.0)]
+
+    def test_suspend_and_resume_are_idempotent(self):
+        env = build_env(full_mesh_topology(3), seed=5, with_traces=False)
+        deploy_app(
+            env,
+            StreamPairApp("app", source_node="node1"),
+            "bass-longest-path",
+            config=NO_MIGRATIONS,
+        )
+        cp = env.control_plane
+        env.netem.start()
+        cp.suspend()
+        cp.suspend()  # no-op, no second outage entry
+        assert len(cp.outages) == 1
+        assert cp.suspended
+        cp.resume()
+        assert not cp.suspended
+        assert cp.resume() == []  # already running: nothing drained
+        assert len(cp.outages) == 1
+        assert cp.outages[0][1] is not None

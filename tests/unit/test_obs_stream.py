@@ -124,3 +124,96 @@ class TestBoundedResidency:
             StreamingSink(tmp_path, window=0)
         with pytest.raises(ValueError):
             StreamingSink(tmp_path, shard_events=0)
+
+
+class TestCheckpointResume:
+    """Pickle round trips of the sink (checkpoint/restore): the resumed
+    run's shards must be byte-identical to an uninterrupted run's."""
+
+    def _event(self, i):
+        return TraceEvent(id=i, kind="restart", time=float(i))
+
+    def _reference(self, tmp_path, count, shard_events):
+        sink = StreamingSink(
+            tmp_path / "ref", window=4, shard_events=shard_events
+        )
+        for i in range(1, count + 1):
+            sink.append(self._event(i))
+        sink.close()
+        return b"".join(p.read_bytes() for p in sink.shard_paths())
+
+    def test_resume_mid_shard_is_byte_identical(self, tmp_path):
+        import pickle
+
+        sink = StreamingSink(tmp_path / "run", window=4, shard_events=10)
+        for i in range(1, 14):  # one sealed shard + 3 lines in-progress
+            sink.append(self._event(i))
+        restored = pickle.loads(pickle.dumps(sink))
+        del sink  # the "killed" process
+        for i in range(14, 26):
+            restored.append(self._event(i))
+        restored.close()
+        got = b"".join(p.read_bytes() for p in restored.shard_paths())
+        assert got == self._reference(tmp_path, 25, 10)
+
+    def test_resume_truncates_lines_written_past_the_checkpoint(
+        self, tmp_path
+    ):
+        import pickle
+
+        sink = StreamingSink(tmp_path / "run", window=4, shard_events=10)
+        for i in range(1, 4):
+            sink.append(self._event(i))
+        blob = pickle.dumps(sink)  # checkpoint at 3 lines
+        for i in range(4, 8):  # the dying process keeps writing
+            sink.append(self._event(i))
+        sink.flush()
+        restored = pickle.loads(blob)
+        for i in range(4, 8):
+            restored.append(self._event(i))
+        restored.close()
+        got = b"".join(p.read_bytes() for p in restored.shard_paths())
+        assert got == self._reference(tmp_path, 7, 10)
+
+    def test_resume_from_prematurely_sealed_shard(self, tmp_path):
+        """SIGTERM shutdown seals the open shard *after* the final
+        checkpoint; the restore must unseal it and continue appending."""
+        import pickle
+
+        sink = StreamingSink(tmp_path / "run", window=4, shard_events=10)
+        for i in range(1, 4):
+            sink.append(self._event(i))
+        blob = pickle.dumps(sink)
+        sink.close()  # seals trace-00000.jsonl with only 3 lines
+        assert len(sink.shard_paths()) == 1
+        restored = pickle.loads(blob)
+        for i in range(4, 16):
+            restored.append(self._event(i))
+        restored.close()
+        got = b"".join(p.read_bytes() for p in restored.shard_paths())
+        assert got == self._reference(tmp_path, 15, 10)
+
+    def test_refuses_resume_from_truncated_shard(self, tmp_path):
+        import pickle
+
+        sink = StreamingSink(tmp_path / "run", window=4, shard_events=10)
+        for i in range(1, 6):
+            sink.append(self._event(i))
+        blob = pickle.dumps(sink)
+        tmp_shard = next((tmp_path / "run").glob("*.tmp"))
+        tmp_shard.write_text("")  # lost the lines the checkpoint recorded
+        restored = pickle.loads(blob)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            restored.append(self._event(6))
+
+    def test_resume_with_no_shard_at_all_raises(self, tmp_path):
+        import pickle
+
+        sink = StreamingSink(tmp_path / "run", window=4, shard_events=10)
+        for i in range(1, 4):
+            sink.append(self._event(i))
+        blob = pickle.dumps(sink)
+        next((tmp_path / "run").glob("*.tmp")).unlink()
+        restored = pickle.loads(blob)
+        with pytest.raises(FileNotFoundError, match="cannot resume"):
+            restored.append(self._event(4))
