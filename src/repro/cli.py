@@ -642,10 +642,50 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., object]]] = {
 }
 
 
+def _report_profile(capsule) -> None:
+    """Where tick time went: print the phase/solver breakdown (stderr —
+    stdout stays deterministic) and, when the run is traced, publish a
+    ``profile.tick_phases`` event so ``bass-repro report`` and the
+    instrument gauges carry the same numbers."""
+    netem = capsule.env.netem
+    phases = netem.tick_phase_stats()
+    solver = netem.solver_stats()
+    tracer = capsule.env.tracer
+    if tracer.enabled:
+        tracer.emit(
+            "profile.tick_phases",
+            capsule.engine.now,
+            ticks=phases["ticks"],
+            phase_seconds=phases["seconds"],
+            solver=solver,
+        )
+    ticks = phases["ticks"]
+    print(
+        f"\ntick profile — {ticks} emulator tick(s), wall clock:",
+        file=sys.stderr,
+    )
+    for phase, seconds in sorted(phases["seconds"].items()):
+        per_ms = seconds / ticks * 1000.0 if ticks else 0.0
+        print(
+            f"  {phase:<14s} {seconds:9.3f}s total {per_ms:8.3f} ms/tick",
+            file=sys.stderr,
+        )
+    print(
+        f"  solver: {solver['full_solves']} full solve(s), "
+        f"{solver['partial_solves']} partial, "
+        f"{solver['components_resolved']} component(s) re-solved of "
+        f"{solver['components']}",
+        file=sys.stderr,
+    )
+    profiler = capsule.engine.profiler
+    if profiler is not None:
+        print(f"\n{profiler.render()}", file=sys.stderr)
+
+
 def _run_checkpoint_mode(args, parser) -> int:
-    """``run`` with --checkpoint-dir / --stop-at / --restore-from: one
-    checkpointable cell (see repro.snap.scenarios) instead of the
-    experiment's usual sweep shape.
+    """``run`` with --checkpoint-dir / --stop-at / --restore-from /
+    --profile: one checkpointable cell (see repro.snap.scenarios)
+    instead of the experiment's usual sweep shape.
 
     The contract the CI smoke leg pins: stop at tick T, restore in a
     fresh process, run to completion — and the summary (``--out``) and
@@ -667,8 +707,8 @@ def _run_checkpoint_mode(args, parser) -> int:
 
     if args.experiment not in SCENARIOS:
         parser.error(
-            f"--checkpoint-dir/--stop-at/--restore-from run a single "
-            f"checkpointable cell; {args.experiment!r} is not one "
+            f"--checkpoint-dir/--stop-at/--restore-from/--profile run a "
+            f"single checkpointable cell; {args.experiment!r} is not one "
             f"(expected one of {SCENARIOS})"
         )
     if args.jobs != 1 or args.cache_dir is not None or args.no_cache:
@@ -754,6 +794,11 @@ def _run_checkpoint_mode(args, parser) -> int:
             policy.bind(capsule)
             capsule.control_plane.attach_checkpoints(policy)
 
+    if args.profile:
+        # Idempotent; restored capsules start with zeroed phase
+        # accumulators (the checkpoint drops wall-clock accounting).
+        capsule.engine.enable_profiling()
+
     try:
         if args.stop_at is not None:
             if policy is None:
@@ -774,6 +819,11 @@ def _run_checkpoint_mode(args, parser) -> int:
             from .obs.trace import set_default_tracer
 
             set_default_tracer(previous)
+
+    if args.profile:
+        # Emit before the trace is written/sealed so the report's
+        # profile section sees the event.
+        _report_profile(capsule)
 
     if tracer is not None:
         if args.trace:
@@ -886,6 +936,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="restore a snapshot written by different repro code "
         "(the restored run may diverge; use only for inspection)",
+    )
+    runner.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the tick hot path (single-cell scenarios): print "
+        "per-phase timings and the engine profiler table to stderr, and "
+        "record a profile.tick_phases trace event when tracing",
     )
     reporter = sub.add_parser(
         "report", help="render a saved trace as a causal run report"
@@ -1009,6 +1066,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.checkpoint_dir
         or args.restore_from
         or args.stop_at is not None
+        or args.profile
     ):
         return _run_checkpoint_mode(args, parser)
 

@@ -66,6 +66,16 @@ class Link:
         5.0
     """
 
+    #: Process-wide count of shaping mutations (``set_trace`` /
+    #: ``set_rate_limit``) across *all* links.  Up/down transitions bump
+    #: the topology version instead, so the pair (topology version,
+    #: ``Link.shaping_rev``) changing is the emulator's cue to rebuild
+    #: its capacity-scan structures.  Deliberately a class attribute:
+    #: readers compare with ``!=`` only, so a pickled snapshot restored
+    #: into a process with a different counter merely triggers one
+    #: harmless rebuild.
+    shaping_rev: int = 0
+
     def __init__(
         self,
         a: str,
@@ -141,6 +151,7 @@ class Link:
                 state.trace = trace
         else:
             self._direction(src, dst).trace = trace
+        Link.shaping_rev += 1
 
     def set_rate_limit(
         self,
@@ -161,7 +172,21 @@ class Link:
                 state.rate_limit_mbps = limit_mbps
         else:
             self._direction(src, dst).rate_limit_mbps = limit_mbps
+        Link.shaping_rev += 1
 
     def base_capacity(self, src: str, dst: str) -> float:
         """The static base capacity (ignoring trace and shaping)."""
         return self._direction(src, dst).base_mbps
+
+    def direction_profile(
+        self, src: str, dst: str
+    ) -> tuple[float, Optional[BandwidthTrace], Optional[float]]:
+        """``(base_mbps, trace, rate_limit_mbps)`` for one direction.
+
+        Read-only view for batch consumers (the emulator's capacity
+        scan groups directions sharing a trace grid); any mutation of
+        the returned trace/limit must go through :meth:`set_trace` /
+        :meth:`set_rate_limit` so ``shaping_rev`` advances.
+        """
+        state = self._direction(src, dst)
+        return state.base_mbps, state.trace, state.rate_limit_mbps

@@ -110,6 +110,62 @@ class BandwidthTrace:
             index = 0
         return float(self._values[index])
 
+    def index_and_expiry(self, t: float) -> tuple[int, float]:
+        """Sample index at ``t`` plus a conservative hold deadline.
+
+        Returns ``(index, expiry)`` such that ``value_at(t')`` equals
+        ``value_at(t)`` for every ``t'`` in ``[t, expiry)``.  ``expiry``
+        is nudged a hair *early* (a relative 1e-9 margin) so that a
+        caller caching the value re-reads at — never after — the true
+        segment boundary even when the cyclic-replay arithmetic rounds
+        by an ulp; a re-read recomputes the exact same value, so early
+        expiry costs a lookup, while late expiry would serve a stale
+        sample.  Raises like :meth:`value_at` past a non-looping end.
+        """
+        if self._loop:
+            local = self._t0 + ((t - self._t0) % self._period)
+        else:
+            if t > self._times[-1] + self._period:
+                raise TraceError(
+                    f"time {t} beyond non-looping trace end "
+                    f"{self._times[-1] + self._period}"
+                )
+            local = t
+        index = bisect.bisect_right(self._times, local) - 1
+        if index < 0:
+            index = 0
+        if index + 1 < len(self._times):
+            hold = float(self._times[index + 1]) - local
+        elif self._loop:
+            # Final segment of a cycle: the next boundary is the replay
+            # wrapping back to the first sample.
+            hold = self._t0 + self._period - local
+        else:
+            hold = float(self._times[-1]) + self._period - local
+        expiry = t + hold
+        expiry -= 1e-9 * (abs(expiry) + 1.0)
+        return index, expiry
+
+    def value_and_expiry(self, t: float) -> tuple[float, float]:
+        """``(value_at(t), conservative expiry)`` — see index_and_expiry."""
+        index, expiry = self.index_and_expiry(t)
+        return float(self._values[index]), expiry
+
+    def grid_key(self) -> tuple:
+        """Exact identity of the time grid and replay mode.
+
+        Two traces with equal grid keys yield the same sample index
+        (and hold expiry) for every query time, so batch consumers (the
+        emulator's capacity scan) can group links by grid and compute
+        the index once per group.  Lazily cached; values do not enter
+        the key.
+        """
+        key = getattr(self, "_grid_key", None)
+        if key is None:
+            key = (self._loop, self._t0, self._period, self._times.tobytes())
+            self._grid_key = key
+        return key
+
     def stats(self) -> TraceStats:
         """Mean/std/min/max over one cycle."""
         return TraceStats(

@@ -1,20 +1,33 @@
 """Calibrating the fairness-solver auto-selector from measured data.
 
 ``max_min_allocation(solver="auto")`` dispatches between the indexed
-and vectorized solvers on instance size.  The original thresholds were
-hand-tuned; this module *fits* them from the perf harness's tracked
-measurements (``BENCH_emulator.json``), so the cutover tracks where the
-two implementations actually cross on the machine class the benchmarks
-run on.
+and vectorized solvers on instance size, and the emulator's
+:class:`~repro.net.fairness.IncrementalMaxMin` engine decides whether
+dirty-set re-solving is worth its bookkeeping at all.  The original
+thresholds were hand-tuned; this module *fits* them from the perf
+harness's tracked measurements (``BENCH_emulator.json``), so each
+cutover tracks where the implementations actually cross on the machine
+class the benchmarks run on.
 
-Both solvers' solve time follows a power law in the active flow count
-(the round loop is ~linear per round, round count grows slowly), so a
-least-squares line fit in log-log space summarizes each solver with two
-parameters; the calibrated flow cutover is where the fitted lines
-intersect — below it the vectorized solver's array setup dominates,
-above it the NumPy round loop wins.  The entries threshold keeps the
-historical entries-per-flow ratio (:data:`ENTRIES_PER_FLOW` hops per
-flow), so both thresholds move together.
+Two fits come out of the data:
+
+* **indexed vs vectorized** — per-component kernel times, measured on
+  each benchmark instance's *largest connected component* (recorded as
+  ``solver_flows``), because per-component decomposition means the
+  kernel choice sees component size, never instance size.  Both kernels
+  follow a power law in the flow count (the round loop is ~linear per
+  round, round count grows slowly), so a least-squares line fit in
+  log-log space summarizes each with two parameters; the calibrated
+  cutover is where the fitted lines intersect.  The entries threshold
+  keeps the historical entries-per-flow ratio (:data:`ENTRIES_PER_FLOW`
+  hops per flow), so both thresholds move together.
+
+* **incremental vs full** — whole-instance times: a from-scratch
+  decomposed auto solve against a retained-engine re-solve after a
+  single-link perturbation.  The incremental engine only re-solves
+  dirty components, so its cost is ~flat in instance size while the
+  full solve keeps growing; the fitted crossover is the instance size
+  below which dirty-set bookkeeping is not worth carrying.
 
 The constants baked into :mod:`repro.net.fairness` are the output of
 :func:`calibrate` over the checked-in benchmark data;
@@ -59,8 +72,15 @@ class SolverCalibration:
     min_entries: int
     indexed: PowerLawFit
     vectorized: PowerLawFit
-    #: (flows, indexed_ms, vectorized_ms) points the fit consumed.
+    #: (solver_flows, indexed_ms, vectorized_ms) points the fit consumed.
     points: tuple[tuple[int, float, float], ...]
+    #: Instance size below which incremental bookkeeping loses to a
+    #: plain full solve.
+    incremental_min_flows: int
+    incremental: PowerLawFit
+    full: PowerLawFit
+    #: (flows, incremental_ms, full_ms) points the incremental fit used.
+    incremental_points: tuple[tuple[int, float, float], ...]
 
 
 def fit_power_law(
@@ -101,14 +121,35 @@ def crossover_flows(indexed: PowerLawFit, vectorized: PowerLawFit) -> float:
 def calibration_points(
     bench: Mapping,
 ) -> tuple[tuple[int, float, float], ...]:
-    """Extract (flows, indexed_ms, vectorized_ms) from a
-    ``BENCH_emulator.json``-shaped payload, sorted by flow count."""
+    """Extract (solver_flows, indexed_ms, vectorized_ms) from a
+    ``BENCH_emulator.json``-shaped payload, sorted by flow count.
+
+    ``solver_flows`` (the instance's largest connected component — what
+    per-component dispatch actually hands a kernel) is preferred;
+    pre-decomposition payloads that only recorded the instance flow
+    count still calibrate off ``flows``.
+    """
     points = []
     for case in bench.get("cases", {}).values():
         solve = case.get("solve_ms", {})
         if "indexed" in solve and "vectorized" in solve:
+            flows = int(case.get("solver_flows", case["flows"]))
+            points.append((flows, solve["indexed"], solve["vectorized"]))
+    points.sort()
+    return tuple(points)
+
+
+def incremental_points(
+    bench: Mapping,
+) -> tuple[tuple[int, float, float], ...]:
+    """Extract (flows, incremental_ms, full_ms) whole-instance points,
+    sorted by instance flow count."""
+    points = []
+    for case in bench.get("cases", {}).values():
+        solve = case.get("solve_ms", {})
+        if "incremental" in solve and "full" in solve:
             points.append(
-                (int(case["flows"]), solve["indexed"], solve["vectorized"])
+                (int(case["flows"]), solve["incremental"], solve["full"])
             )
     points.sort()
     return tuple(points)
@@ -126,12 +167,29 @@ def calibrate(bench: Mapping) -> SolverCalibration:
     indexed = fit_power_law(flows, [p[1] for p in points])
     vectorized = fit_power_law(flows, [p[2] for p in points])
     min_flows = max(1, round(crossover_flows(indexed, vectorized)))
+
+    inc_points = incremental_points(bench)
+    if len(inc_points) < 2:
+        raise ValueError(
+            f"{BENCH_FILE} must track >= 2 cases with incremental and "
+            "full solve times"
+        )
+    inc_flows = [p[0] for p in inc_points]
+    incremental = fit_power_law(inc_flows, [p[1] for p in inc_points])
+    full = fit_power_law(inc_flows, [p[2] for p in inc_points])
+    incremental_min_flows = max(
+        1, round(crossover_flows(full, incremental))
+    )
     return SolverCalibration(
         min_flows=min_flows,
         min_entries=ENTRIES_PER_FLOW * min_flows,
         indexed=indexed,
         vectorized=vectorized,
         points=points,
+        incremental_min_flows=incremental_min_flows,
+        incremental=incremental,
+        full=full,
+        incremental_points=inc_points,
     )
 
 

@@ -31,12 +31,25 @@ retirement tests) is performed with identical IEEE-754 arithmetic in an
 equivalent order, so the returned rates are *exactly* equal, not merely
 close.  ``tests/unit/test_fairness_equivalence.py`` enforces this over
 hundreds of randomized instances.
+
+``max_min_allocation`` solves *per connected component* of the
+flow↔link incidence graph: components share no links, so their
+allocations are independent, and each component is handed to the kernel
+the auto-selector picks for *its* size.  On a single-component instance
+this is bit-identical to running a kernel over the whole instance (the
+round increments and retirement tests only ever inspect links carried
+by active flows).  Decomposition is what makes the incremental path
+possible: :class:`IncrementalMaxMin` re-solves only the components
+whose link capacities changed since the last allocation and keeps every
+clean component's rates verbatim — exactly equal to a from-scratch
+solve, because a component's allocation is a pure function of its own
+flows and capacities.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Mapping, Sequence
+from typing import Hashable, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -45,12 +58,27 @@ _EPSILON = 1e-9
 #: Auto-dispatch thresholds: the vectorized solver wins once the round
 #: loop pushes enough work through NumPy to amortize array setup.
 #: Calibrated from BENCH_emulator.json's tracked solve times — the
-#: log-log power-law fits of the indexed and vectorized solvers cross
-#: at ~134 flows (see repro.net.calibration; the guard test
+#: log-log power-law fits of the indexed and vectorized kernels,
+#: measured per connected component (the unit dispatch actually sees),
+#: cross at ~60 flows (see repro.net.calibration; the guard test
 #: tests/unit/test_solver_calibration.py keeps these in sync with a
 #: fresh fit of the checked-in data).
-_VECTOR_MIN_FLOWS = 134
-_VECTOR_MIN_ENTRIES = 536
+_VECTOR_MIN_FLOWS = 60
+_VECTOR_MIN_ENTRIES = 240
+
+#: Below this many active flows :class:`IncrementalMaxMin` skips dirty
+#: tracking and re-solves everything: the capacity diff and component
+#: bookkeeping cost more than the whole solve on tiny instances.
+#: Calibrated from BENCH_emulator.json's incremental-tier measurements
+#: (the fitted full-solve and incremental-re-solve power laws cross at
+#: ~15 flows — see repro.net.calibration), guarded by the same test.
+_INCREMENTAL_MIN_FLOWS = 15
+
+#: When more than this fraction of active flows sit in dirty
+#: components, the incremental engine re-solves every component (the
+#: "full solve" fallback — bit-identical either way, but it skips the
+#: per-component dispatch bookkeeping when almost everything moved).
+_INCREMENTAL_FULL_FRACTION = 0.5
 
 SOLVERS = ("auto", "reference", "indexed", "vectorized")
 
@@ -240,6 +268,246 @@ def _solve_indexed(
                     del counts[key]
 
 
+#: Margin for the round-level skip tests in the vectorized kernel.  A
+#: flow can only be satisfied this round when its start-of-round slack
+#: is within ``_EPSILON`` of ``delta`` (and a link can only saturate
+#: when its headroom ratio is), so rounds whose minimum slack/ratio sit
+#: clearly above ``delta`` skip the retirement scans entirely.  The
+#: margin doubles ``_EPSILON`` to absorb ulp-level rounding differences
+#: between the skip predicate and the actual elementwise tests — a
+#: false *positive* merely runs a scan that finds nothing.
+_SKIP_MARGIN = 2.0 * _EPSILON
+
+
+class CompiledComponent:
+    """Frozen array form of one link-connected component.
+
+    Building the entry arrays (flow↔link incidence in COO form, the
+    per-flow entry slices, the link→flow CSR used for saturation
+    retirement) costs O(path length) Python work — far more than a
+    solve's round loop on re-solves.  The emulator's incremental engine
+    therefore compiles each component once per flow-set shape and
+    replays :meth:`solve` against fresh capacities every tick.
+    """
+
+    __slots__ = (
+        "flow_ids",
+        "link_keys",
+        "demand",
+        "ef",
+        "el",
+        "offsets",
+        "counts0",
+        "by_link_flow",
+        "link_offsets",
+        "n_flows",
+        "n_links",
+        "n_entries",
+    )
+
+    def __init__(self, component: Mapping[Hashable, FlowDemand]) -> None:
+        self.flow_ids = list(component.keys())
+        self.n_flows = len(self.flow_ids)
+        link_index: dict[LinkKey, int] = {}
+        entry_flow: list[int] = []
+        entry_link: list[int] = []
+        for fi, flow in enumerate(component.values()):
+            for key in flow.links:
+                li = link_index.get(key)
+                if li is None:
+                    li = link_index[key] = len(link_index)
+                entry_flow.append(fi)
+                entry_link.append(li)
+        self.link_keys = list(link_index.keys())
+        self.n_links = len(link_index)
+        self.n_entries = len(entry_flow)
+        self.ef = np.asarray(entry_flow, dtype=np.intp)
+        self.el = np.asarray(entry_link, dtype=np.intp)
+        # Entries are grouped by flow in build order, so each flow's
+        # link indices live in one slice — used to retire its incidence
+        # in O(path).
+        offsets = np.zeros(self.n_flows + 1, dtype=np.intp)
+        np.cumsum(
+            [len(flow.links) for flow in component.values()],
+            out=offsets[1:],
+        )
+        self.offsets = offsets
+        self.demand = np.array(
+            [flow.demand_mbps for flow in component.values()],
+            dtype=np.float64,
+        )
+        self.counts0 = np.bincount(
+            self.el, minlength=self.n_links
+        ).astype(np.float64)
+        # CSR by link: flows incident to link li (with multiplicity, in
+        # entry order) are by_link_flow[link_offsets[li]:link_offsets[li+1]].
+        # Saturation rounds use this to pin only the flows on the few
+        # saturated links instead of scanning every entry.
+        order = np.argsort(self.el, kind="stable")
+        self.by_link_flow = self.ef[order]
+        link_offsets = np.zeros(self.n_links + 1, dtype=np.intp)
+        np.cumsum(self.counts0.astype(np.intp), out=link_offsets[1:])
+        self.link_offsets = link_offsets
+
+    def gather_capacities(
+        self, capacities: Mapping[LinkKey, float]
+    ) -> np.ndarray:
+        """Per-link capacity array in this component's link order."""
+        return np.array(
+            [float(capacities[key]) for key in self.link_keys],
+            dtype=np.float64,
+        )
+
+    def solve(
+        self, cap: np.ndarray, rates: dict[Hashable, float]
+    ) -> None:
+        """Water-fill against ``cap`` (consumed) and write the rates.
+
+        The round arithmetic is the reference loop's, op for op, in
+        IEEE-754 float64 — results are bit-identical.  The departures
+        are purely representational: retired flows carry ``+inf``
+        demand shadows (so the unmasked reductions and retirement tests
+        can never pick them), fully-retired links carry
+        ``cap=+inf, count=1`` (so they drop out of the headroom minimum
+        and the saturation scan exactly like the reference dropping the
+        key from its incidence map), and ``rate`` keeps accumulating
+        deltas for retired rows — their exact retirement-round value is
+        captured into ``final`` the moment they retire, so the masked
+        add the reference implies costs nothing here.  The loop is
+        dispatch-bound at these sizes (~100+ rounds of small-array
+        ufuncs), hence the raw ``ufunc.reduce`` / ``.nonzero()`` calls
+        in place of their fromnumeric wrappers.
+        """
+        n_flows = self.n_flows
+        demand = self.demand
+        ef = self.ef
+        el = self.el
+        offsets = self.offsets
+        by_link_flow = self.by_link_flow
+        link_offsets = self.link_offsets
+        counts = self.counts0.copy()
+
+        rate = np.zeros(n_flows, dtype=np.float64)
+        final = np.zeros(n_flows, dtype=np.float64)
+        alive = np.ones(n_flows, dtype=bool)
+        demand_shadow = demand.copy()
+        sat_thresh = demand - _EPSILON
+        ratio = np.empty(self.n_links, dtype=np.float64)
+        slack = np.empty(n_flows, dtype=np.float64)
+        scratch_l = np.empty(self.n_links, dtype=np.float64)
+        satisfied = np.empty(n_flows, dtype=bool)
+        sat_links = np.empty(self.n_links, dtype=bool)
+        inf = np.inf
+        min_reduce = np.minimum.reduce
+        n_alive = n_flows
+
+        # Links whose capacity starts at exactly 0 with no flows... are
+        # impossible here: every link of a component carries >= 1 flow.
+        while n_alive:
+            np.divide(cap, counts, out=ratio)
+            d1 = float(min_reduce(ratio))
+            np.subtract(demand_shadow, rate, out=slack)
+            d2 = float(min_reduce(slack))
+            delta = d1 if d1 < d2 else d2
+            if delta < 0.0:
+                delta = 0.0
+
+            rate += delta
+            np.multiply(counts, delta, out=scratch_l)
+            np.subtract(cap, scratch_l, out=cap)
+
+            any_sat = False
+            retired_entries = None
+            if d2 <= delta + _SKIP_MARGIN:
+                np.greater_equal(rate, sat_thresh, out=satisfied)
+                any_sat = bool(satisfied.any())
+                if any_sat:
+                    alive ^= satisfied
+                    retired = satisfied.nonzero()[0]
+                    n_alive -= retired.size
+                    final[retired] = rate[retired]
+                    demand_shadow[retired] = inf
+                    sat_thresh[retired] = inf
+                    if retired.size == 1:
+                        fi = retired[0]
+                        retired_entries = el[offsets[fi] : offsets[fi + 1]]
+                    elif retired.size * 8 > self.n_entries:
+                        retired_entries = el[satisfied[ef]]
+                    else:
+                        retired_entries = np.concatenate(
+                            [
+                                el[offsets[fi] : offsets[fi + 1]]
+                                for fi in retired
+                            ]
+                        )
+            if d1 <= delta + _SKIP_MARGIN:
+                # Saturation is judged against the round-start counts
+                # (still including just-satisfied flows), matching the
+                # reference.
+                np.less_equal(cap, _EPSILON, out=sat_links)
+                sat_idx = sat_links.nonzero()[0]
+                if sat_idx.size:
+                    if sat_idx.size == 1:
+                        li = sat_idx[0]
+                        cand = by_link_flow[
+                            link_offsets[li] : link_offsets[li + 1]
+                        ]
+                    else:
+                        cand = np.concatenate(
+                            [
+                                by_link_flow[
+                                    link_offsets[li] : link_offsets[li + 1]
+                                ]
+                                for li in sat_idx
+                            ]
+                        )
+                    cand = cand[alive[cand]]
+                    if cand.size:
+                        pinned = np.zeros(n_flows, dtype=bool)
+                        pinned[cand] = True
+                        alive &= ~pinned
+                        pr = pinned.nonzero()[0]
+                        n_alive -= pr.size
+                        final[pr] = rate[pr]
+                        demand_shadow[pr] = inf
+                        sat_thresh[pr] = inf
+                        if pr.size * 8 > self.n_entries:
+                            pe = el[pinned[ef]]
+                        else:
+                            pe = np.concatenate(
+                                [
+                                    el[offsets[fi] : offsets[fi + 1]]
+                                    for fi in pr
+                                ]
+                            )
+                        retired_entries = (
+                            pe
+                            if retired_entries is None
+                            else np.concatenate([retired_entries, pe])
+                        )
+                elif not any_sat and delta <= _EPSILON:
+                    break  # numerical dead-end; remaining rates stay put
+            elif not any_sat and delta <= _EPSILON:
+                break  # numerical dead-end; remaining rates stay put
+
+            if retired_entries is not None and retired_entries.size:
+                # unbuffered: a path listing a link twice decrements
+                # twice, matching the reference's per-occurrence counts
+                np.subtract.at(counts, retired_entries, 1.0)
+                dead = retired_entries[counts[retired_entries] == 0.0]
+                if dead.size:
+                    # Retired links leave the headroom minimum and the
+                    # saturation scan for good.
+                    counts[dead] = 1.0
+                    cap[dead] = inf
+
+        # Flows still alive (demand never met, no link saturated under
+        # them — or the dead-end break) keep their current rate.
+        np.copyto(final, rate, where=alive)
+        for i, fid in enumerate(self.flow_ids):
+            rates[fid] = float(final[i])
+
+
 def _solve_vectorized(
     rates: dict[Hashable, float],
     active: dict[Hashable, FlowDemand],
@@ -251,73 +519,8 @@ def _solve_vectorized(
     float64 operation here (same IEEE-754 semantics, no reductions that
     reassociate sums), so results are bit-identical.
     """
-    flow_ids = list(active.keys())
-    flow_index = {fid: i for i, fid in enumerate(flow_ids)}
-    n_flows = len(flow_ids)
-
-    link_index: dict[LinkKey, int] = {}
-    entry_flow: list[int] = []
-    entry_link: list[int] = []
-    for fid, flow in active.items():
-        fi = flow_index[fid]
-        for key in flow.links:
-            li = link_index.get(key)
-            if li is None:
-                li = link_index[key] = len(link_index)
-            entry_flow.append(fi)
-            entry_link.append(li)
-    n_links = len(link_index)
-
-    ef = np.asarray(entry_flow, dtype=np.intp)
-    el = np.asarray(entry_link, dtype=np.intp)
-    # Entries are grouped by flow in build order, so each flow's link
-    # indices live in one slice — used to retire its incidence in O(path).
-    offsets = np.zeros(n_flows + 1, dtype=np.intp)
-    np.cumsum(
-        [len(active[fid].links) for fid in flow_ids], out=offsets[1:]
-    )
-    cap = np.empty(n_links, dtype=np.float64)
-    for key, li in link_index.items():
-        cap[li] = float(capacities[key])
-    demand = np.array(
-        [active[fid].demand_mbps for fid in flow_ids], dtype=np.float64
-    )
-    rate = np.zeros(n_flows, dtype=np.float64)
-    alive = np.ones(n_flows, dtype=bool)
-    counts = np.bincount(el, minlength=n_links)
-
-    while alive.any():
-        used = counts > 0
-        delta = float((cap[used] / counts[used]).min())
-        delta = min(
-            delta, float(np.min(demand - rate, where=alive, initial=np.inf))
-        )
-        delta = max(delta, 0.0)
-
-        np.add(rate, delta, out=rate, where=alive)
-        np.subtract(cap, delta * counts, out=cap, where=used)
-
-        satisfied = alive & (rate >= demand - _EPSILON)
-        alive &= ~satisfied
-        retired = np.flatnonzero(satisfied)
-        # Round-start counts (still including just-satisfied flows), as
-        # in the reference.
-        saturated = used & (cap <= _EPSILON)
-        if saturated.any():
-            sel = alive[ef] & saturated[el]
-            pinned = np.zeros(n_flows, dtype=bool)
-            pinned[ef[sel]] = True
-            alive &= ~pinned
-            retired = np.concatenate([retired, np.flatnonzero(pinned)])
-        elif not satisfied.any() and delta <= _EPSILON:
-            break  # numerical dead-end; all remaining rates stay put
-        for fi in retired:
-            # unbuffered: a path listing a link twice decrements twice,
-            # matching the reference's per-occurrence incidence counts
-            np.subtract.at(counts, el[offsets[fi]:offsets[fi + 1]], 1)
-
-    for i, fid in enumerate(flow_ids):
-        rates[fid] = float(rate[i])
+    compiled = CompiledComponent(active)
+    compiled.solve(compiled.gather_capacities(capacities), rates)
     active.clear()
 
 
@@ -342,6 +545,68 @@ def auto_solver(active_flows: Sequence[FlowDemand]) -> str:
     )
 
 
+def link_components(
+    active: Mapping[Hashable, FlowDemand],
+) -> list[dict[Hashable, FlowDemand]]:
+    """Group active flows into link-connected components.
+
+    Two flows are in the same component when their paths are joined by
+    a chain of shared directed links.  Components share no links, so
+    the max-min allocation of each is independent of the others.  The
+    returned list is deterministic: components appear in the order of
+    their first flow in ``active``, and flows keep ``active``'s
+    iteration order within each component.
+    """
+    parent: dict[LinkKey, LinkKey] = {}
+
+    def find(key: LinkKey) -> LinkKey:
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:
+            parent[key], key = root, parent[key]
+        return root
+
+    for flow in active.values():
+        links = flow.links
+        first = links[0]
+        if first not in parent:
+            parent[first] = first
+        root = find(first)
+        for key in links[1:]:
+            if key not in parent:
+                parent[key] = key
+            other = find(key)
+            if other != root:
+                parent[other] = root
+    groups: dict[LinkKey, dict[Hashable, FlowDemand]] = {}
+    for fid, flow in active.items():
+        groups.setdefault(find(flow.links[0]), {})[fid] = flow
+    return list(groups.values())
+
+
+def _solve_component(
+    rates: dict[Hashable, float],
+    component: dict[Hashable, FlowDemand],
+    capacities: Mapping[LinkKey, float],
+    solver: str,
+) -> None:
+    """Solve one component with the requested (or auto-picked) kernel.
+
+    Consumes ``component`` (the kernels retire flows destructively) —
+    callers that retain the dict must pass a copy.
+    """
+    kernel = auto_solver(tuple(component.values())) if solver == "auto" else solver
+    if kernel == "reference":
+        rates.update(
+            max_min_allocation_reference(list(component.values()), capacities)
+        )
+    elif kernel == "vectorized":
+        _solve_vectorized(rates, component, capacities)
+    else:
+        _solve_indexed(rates, component, capacities)
+
+
 def max_min_allocation(
     flows: Sequence[FlowDemand],
     capacities: Mapping[LinkKey, float],
@@ -350,14 +615,20 @@ def max_min_allocation(
 ) -> dict[Hashable, float]:
     """Compute the demand-bounded max-min fair rates for ``flows``.
 
+    The instance is split into link-connected components, each solved
+    independently (components share no links, so the result is the same
+    max-min fair allocation).  With ``solver="auto"`` the kernel is
+    picked per component, so one city-scale instance of many regional
+    components dispatches each region at its own size.
+
     Args:
         flows: flow demands; flows whose paths reference a link absent
             from ``capacities`` raise ``KeyError`` (a wiring bug).
         capacities: directed link capacities in Mbps.
-        solver: ``"auto"`` (default) picks the vectorized solver for
-            large instances and the indexed solver otherwise;
+        solver: ``"auto"`` (default) picks the vectorized kernel for
+            large components and the indexed kernel otherwise;
             ``"reference"``, ``"indexed"`` and ``"vectorized"`` force a
-            specific implementation.  All solvers return bit-identical
+            specific kernel.  All choices return bit-identical
             allocations.
 
     Returns:
@@ -367,16 +638,222 @@ def max_min_allocation(
         raise ValueError(
             f"unknown solver {solver!r}; expected one of {SOLVERS}"
         )
-    if solver == "reference":
-        return max_min_allocation_reference(flows, capacities)
-
     rates, active = _partition_flows(flows, capacities)
     if not active:
         return rates
-    if solver == "auto":
-        solver = auto_solver(tuple(active.values()))
-    if solver == "vectorized":
-        _solve_vectorized(rates, active, capacities)
-    else:
-        _solve_indexed(rates, active, capacities)
+    for component in link_components(active):
+        _solve_component(rates, component, capacities, solver)
     return rates
+
+
+class ArrayCapacities(Mapping):
+    """Read-only ``Mapping[LinkKey, float]`` view over a capacity array.
+
+    The emulator's structure-of-arrays core keeps link capacities in one
+    flat float64 array; this wrapper lets the solver kernels index it by
+    link key without materializing an O(links) dict every tick.
+    """
+
+    __slots__ = ("index", "values")
+
+    def __init__(
+        self, index: Mapping[LinkKey, int], values: np.ndarray
+    ) -> None:
+        self.index = index
+        self.values = values
+
+    def __getitem__(self, key: LinkKey) -> float:
+        return float(self.values[self.index[key]])
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.index
+
+    def __iter__(self) -> Iterator[LinkKey]:
+        return iter(self.index)
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+
+class _ComponentState:
+    """One retained component inside :class:`IncrementalMaxMin`."""
+
+    __slots__ = ("flows", "n_entries", "compiled", "cap_pos")
+
+    def __init__(self, flows: dict[Hashable, FlowDemand]) -> None:
+        self.flows = flows
+        self.n_entries = sum(len(flow.links) for flow in flows.values())
+        #: Lazily built on the first vectorized-eligible solve and then
+        #: replayed every re-solve (setup costs more than the rounds).
+        self.compiled: Optional[CompiledComponent] = None
+        self.cap_pos: Optional[np.ndarray] = None
+
+
+class IncrementalMaxMin:
+    """Stateful max-min re-solver over dirty connected components.
+
+    Tracks, between calls, the component structure of the active flows
+    and the per-link capacities of the last allocation.  When only the
+    flow set is unchanged (same ``shape_rev``), a call re-runs
+    water-filling *only* over components whose link capacities moved;
+    every clean component keeps its cached rates.  Because components
+    share no links, a component's allocation is a pure function of its
+    own flows and capacities, so the result is exactly — bitwise — the
+    allocation ``max_min_allocation`` computes from scratch
+    (``tests/unit/test_fairness_incremental.py`` proves this over
+    seeded perturbation sequences).
+
+    Fallbacks, all bit-identical to the incremental path:
+
+    * shape change (flow add/remove/reroute/demand, topology change):
+      full re-solve and structure rebuild;
+    * fewer than ``min_flows`` active flows: dirty tracking costs more
+      than the solve, so everything is re-solved;
+    * dirty components covering more than ``full_fraction`` of active
+      flows: every component is re-solved (the "full solve" fallback).
+    """
+
+    def __init__(
+        self,
+        *,
+        min_flows: Optional[int] = None,
+        full_fraction: float = _INCREMENTAL_FULL_FRACTION,
+    ) -> None:
+        self.min_flows = (
+            _INCREMENTAL_MIN_FLOWS if min_flows is None else min_flows
+        )
+        self.full_fraction = full_fraction
+        self._shape_rev: object = None
+        self._solved_caps: Optional[np.ndarray] = None
+        self._rates: dict[Hashable, float] = {}
+        self._components: list[_ComponentState] = []
+        self._link_index: Optional[Mapping[LinkKey, int]] = None
+        self._link_comp: Optional[np.ndarray] = None
+        self._active_count = 0
+        #: Observability counters (deterministic; surfaced as gauges).
+        self.full_solves = 0
+        self.partial_solves = 0
+        self.components_resolved = 0
+
+    @property
+    def component_count(self) -> int:
+        return len(self._components)
+
+    def invalidate(self) -> None:
+        """Drop all cached structure; the next call fully re-solves."""
+        self._shape_rev = None
+        self._solved_caps = None
+
+    def solve(
+        self,
+        flows: Sequence[FlowDemand],
+        link_index: Mapping[LinkKey, int],
+        cap_values: np.ndarray,
+        shape_rev: object,
+    ) -> tuple[dict[Hashable, float], Optional[list[Hashable]]]:
+        """(Re-)solve against the capacity array.
+
+        Args:
+            flows: the full flow set (consulted only on shape change).
+            link_index: link key -> position in ``cap_values``.
+            cap_values: current per-link capacities (not aliased; a
+                private copy is kept as the solved-state snapshot).
+            shape_rev: any value that changes whenever the flow set or
+                the link universe changes (the emulator passes its
+                ``(topology.version, flows_rev)``).
+
+        Returns:
+            ``(rates, changed)`` — the complete allocation (owned by
+            the engine; treat as read-only) and the flow ids whose
+            rates were recomputed, or ``None`` when everything was.
+        """
+        capacities = ArrayCapacities(link_index, cap_values)
+        if (
+            self._shape_rev != shape_rev
+            or self._solved_caps is None
+            or self._solved_caps.shape != cap_values.shape
+        ):
+            return self._solve_full(flows, link_index, capacities, cap_values, shape_rev)
+        dirty = np.flatnonzero(self._solved_caps != cap_values)
+        if dirty.size == 0:
+            return self._rates, []
+        if self._active_count < self.min_flows:
+            return self._solve_full(flows, link_index, capacities, cap_values, shape_rev)
+        self._solved_caps = cap_values.copy()
+        assert self._link_comp is not None
+        comp_ids = np.unique(self._link_comp[dirty])
+        if comp_ids.size and comp_ids[0] < 0:
+            comp_ids = comp_ids[1:]  # links no active flow crosses
+        if comp_ids.size == 0:
+            return self._rates, []
+        dirty_flows = sum(len(self._components[c].flows) for c in comp_ids)
+        if dirty_flows > self.full_fraction * self._active_count:
+            comp_ids = np.arange(len(self._components))
+        changed: list[Hashable] = []
+        for ci in comp_ids:
+            state = self._components[int(ci)]
+            self._resolve_component(state, capacities, cap_values)
+            changed.extend(state.flows)
+        self.partial_solves += 1
+        self.components_resolved += int(len(comp_ids))
+        return self._rates, changed
+
+    def _resolve_component(
+        self,
+        state: _ComponentState,
+        capacities: Mapping[LinkKey, float],
+        cap_values: np.ndarray,
+    ) -> None:
+        """(Re-)solve one retained component into the cached rates.
+
+        Vectorized-size components are compiled once and replayed
+        against a fancy-indexed slice of the capacity array; small
+        components go through the dict-based indexed kernel (same
+        dispatch rule as :func:`auto_solver`, from cached sizes).
+        """
+        flows = state.flows
+        if (
+            len(flows) >= _VECTOR_MIN_FLOWS
+            and state.n_entries >= _VECTOR_MIN_ENTRIES
+        ):
+            if state.compiled is None:
+                state.compiled = CompiledComponent(flows)
+                assert self._link_index is not None
+                state.cap_pos = np.fromiter(
+                    (self._link_index[key] for key in state.compiled.link_keys),
+                    dtype=np.intp,
+                    count=state.compiled.n_links,
+                )
+            state.compiled.solve(cap_values[state.cap_pos], self._rates)
+        else:
+            rates = dict.fromkeys(flows, 0.0)
+            _solve_indexed(rates, dict(flows), capacities)
+            self._rates.update(rates)
+
+    def _solve_full(
+        self,
+        flows: Sequence[FlowDemand],
+        link_index: Mapping[LinkKey, int],
+        capacities: ArrayCapacities,
+        cap_values: np.ndarray,
+        shape_rev: object,
+    ) -> tuple[dict[Hashable, float], None]:
+        rates, active = _partition_flows(flows, capacities)
+        self._components = [
+            _ComponentState(component)
+            for component in (link_components(active) if active else [])
+        ]
+        self._active_count = len(active)
+        self._link_index = link_index
+        self._rates = rates
+        link_comp = np.full(len(link_index), -1, dtype=np.intp)
+        for ci, state in enumerate(self._components):
+            for flow in state.flows.values():
+                for key in flow.links:
+                    link_comp[link_index[key]] = ci
+            self._resolve_component(state, capacities, cap_values)
+        self._link_comp = link_comp
+        self._solved_caps = cap_values.copy()
+        self._shape_rev = shape_rev
+        self.full_solves += 1
+        return rates, None

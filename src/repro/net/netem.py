@@ -13,19 +13,88 @@ as fluid flows, and every tick the emulator
 Everything the rest of the system observes about the network — achieved
 rates, goodput, available headroom, path delay, loss — is a query
 against this object.
+
+Structure-of-arrays core
+------------------------
+
+The tick hot path runs over flat NumPy arrays keyed by stable integer
+ids, with the object API kept as a thin view:
+
+* **Links** get a position (``_link_index``) in enumeration order at
+  construction; ``_cap_values[i]`` is directed link *i*'s instantaneous
+  capacity.  The capacity scan groups traced links by their trace's
+  time grid: one ``index_and_expiry`` lookup per grid per segment
+  replaces one trace lookup per link per tick, and between segment
+  boundaries a group is skipped entirely.  ``_cap_epoch`` counts scans
+  that changed at least one capacity, so the allocation fingerprint is
+  an O(1) triple ``(topology version, flow revision, capacity epoch)``
+  instead of an O(links) tuple rebuild.
+* **Queues** live in one :class:`~repro.net.queues.QueueArrays`; the
+  per-link :class:`~repro.net.queues.ArrayLinkQueue` objects handed out
+  by :meth:`queue` are property-backed views over its rows, and the
+  whole fleet advances in one vectorized update per tick.
+* **Flows** mirror into a :class:`~repro.net.flows.FlowArrays`
+  (rebuilt only when ``_flows_rev`` moves): per-link offered load and
+  per-tag accounting are ``bincount`` calls that add the same floats in
+  the same order as the scalar loops they replaced.
+* **Allocations** come from a retained
+  :class:`~repro.net.fairness.IncrementalMaxMin`, which re-runs
+  water-filling only over the connected components whose capacities
+  moved since the previous solve — bit-identical to a from-scratch
+  solve.
+
+Invalidation rules: the scan structure rebuilds when the topology
+version or the process-wide ``Link.shaping_rev`` moves; flow arrays
+rebuild when ``_flows_rev`` moves; the incremental solver falls back to
+a full solve whenever ``(topology version, flows_rev)`` moves.  None of
+the derived structures are serialized — a restored emulator rebuilds
+them and, because a rebuild re-reads the same values, resumes with the
+same capacity epoch and byte-identical behaviour.
 """
 
 from __future__ import annotations
 
+import time as _time
 from typing import Optional
 
+import numpy as np
+
 from ..errors import RoutingError, SimulationError, TopologyError
+from ..mesh.link import Link
 from ..mesh.routing import Router
 from ..mesh.topology import MeshTopology
 from ..sim.engine import Engine
-from .fairness import FlowDemand, LinkKey, max_min_allocation
-from .flows import Flow
-from .queues import LinkQueue
+from .fairness import (
+    FlowDemand,
+    IncrementalMaxMin,
+    LinkKey,
+    max_min_allocation,
+)
+from .flows import Flow, FlowArrays
+from .queues import ArrayLinkQueue, LinkQueue, QueueArrays
+
+#: Phase keys of the per-tick wall-time accounting, in tick order.
+TICK_PHASES = ("capacity_scan", "bookkeeping", "solve")
+
+
+class _TraceGroup:
+    """Directed links whose traces share one time grid.
+
+    All member traces agree on sample times, replay mode and period, so
+    a single ``index_and_expiry`` on the representative trace gives the
+    sample index for every member; the group's capacities come from one
+    column gather of the stacked values matrix.  Until ``expiry`` the
+    group's capacities cannot change and the scan skips it.
+    """
+
+    __slots__ = ("rows", "values", "limits", "trace", "expiry")
+
+    def __init__(self, rows, values, limits, trace) -> None:
+        self.rows = rows
+        self.values = values
+        self.limits = limits
+        self.trace = trace
+        self.expiry = float("-inf")
 
 
 class NetworkEmulator:
@@ -65,9 +134,30 @@ class NetworkEmulator:
         self.router = router if router is not None else Router(topology)
         self.tick_s = tick_s
         self._flows: dict[str, Flow] = {}
+        #: Stable directed-link ordering: position in these arrays is a
+        #: link's id for the life of the emulator (links are never
+        #: removed from a topology; up/down is a capacity of 0).
+        self._link_keys: list[LinkKey] = [
+            (src, dst) for src, dst, _ in topology.iter_directed_links()
+        ]
+        self._link_index: dict[LinkKey, int] = {
+            key: i for i, key in enumerate(self._link_keys)
+        }
+        self._cap_values = np.zeros(len(self._link_keys), dtype=float)
+        #: Bumped by every capacity scan that changed at least one
+        #: entry of ``_cap_values`` — the O(1) stand-in for the
+        #: capacity vector in the allocation fingerprint.
+        self._cap_epoch = 0
+        #: ``(topology.version, Link.shaping_rev)`` the scan structure
+        #: was built against; None forces a rebuild.
+        self._scan_rev: Optional[tuple[int, int]] = None
+        self._scan_groups: list[_TraceGroup] = []
+        self._queue_arrays = QueueArrays(
+            np.full(len(self._link_keys), float(buffer_mbit))
+        )
         self._queues: dict[LinkKey, LinkQueue] = {
-            (src, dst): LinkQueue(buffer_mbit)
-            for src, dst, _ in topology.iter_directed_links()
+            key: ArrayLinkQueue(self._queue_arrays, i)
+            for i, key in enumerate(self._link_keys)
         }
         self._offered_mbit_by_tag: dict[str, float] = {}
         self._ticker = None
@@ -80,13 +170,21 @@ class NetworkEmulator:
         #: Bumped whenever the flow set changes shape (add/remove,
         #: demand update, reroute) — one third of the allocation
         #: fingerprint alongside the topology version and the capacity
-        #: vector.
+        #: epoch.
         self._flows_rev = 0
         self._alloc_fingerprint: Optional[tuple] = None
         #: FlowDemand list reused across solves while the flow set is
         #: unchanged (keyed by ``_flows_rev``) — rebuilding it every
         #: tick is pure allocation churn.
         self._demands_cache: Optional[tuple[int, list[FlowDemand]]] = None
+        #: FlowArrays mirror, same keying.
+        self._flow_arrays: Optional[tuple[int, FlowArrays]] = None
+        self._incremental = IncrementalMaxMin()
+        #: Cumulative wall time per tick phase and the tick count —
+        #: diagnostics only (surfaced via /metrics and the profiler,
+        #: never written into run summaries or traces by default).
+        self._phase_s: dict[str, float] = dict.fromkeys(TICK_PHASES, 0.0)
+        self._phase_ticks = 0
 
     # -- lifecycle --------------------------------------------------------
 
@@ -233,79 +331,245 @@ class NetworkEmulator:
                     )
         return {"rerouted": rerouted, "removed": removed}
 
+    # -- capacity scan ----------------------------------------------------
+
+    def _rebuild_scan(self) -> bool:
+        """Rebuild the grouped capacity-scan structure from the mesh.
+
+        Called whenever the topology version or the process-wide link
+        shaping revision moved.  Static capacities (no trace, or the
+        link is down) are written immediately; traced links are grouped
+        by time grid for the per-tick scan.  Returns whether any static
+        capacity changed.
+        """
+        static_rows: list[int] = []
+        static_vals: list[float] = []
+        grouped: dict[tuple, list] = {}
+        for src, dst, link in self.topology.iter_directed_links():
+            try:
+                row = self._link_index[(src, dst)]
+            except KeyError:
+                raise TopologyError(
+                    f"link {src}->{dst} appeared after emulator "
+                    "construction; links must exist when the emulator "
+                    "is built"
+                ) from None
+            if not link.up:
+                static_rows.append(row)
+                static_vals.append(0.0)
+                continue
+            base, trace, limit = link.direction_profile(src, dst)
+            if trace is None:
+                static_rows.append(row)
+                static_vals.append(base if limit is None else min(base, limit))
+                continue
+            entry = grouped.get(trace.grid_key())
+            if entry is None:
+                entry = grouped[trace.grid_key()] = [[], [], [], trace]
+            entry[0].append(row)
+            entry[1].append(trace.values)
+            entry[2].append(float("inf") if limit is None else limit)
+        changed = False
+        if static_rows:
+            rows = np.array(static_rows, dtype=np.intp)
+            values = np.array(static_vals, dtype=float)
+            if not np.array_equal(self._cap_values[rows], values):
+                self._cap_values[rows] = values
+                changed = True
+        self._scan_groups = [
+            _TraceGroup(
+                np.array(rows, dtype=np.intp),
+                np.array(values, dtype=float),
+                np.array(limits, dtype=float),
+                trace,
+            )
+            for rows, values, limits, trace in grouped.values()
+        ]
+        return changed
+
+    def _scan_capacities(self) -> None:
+        """Refresh ``_cap_values`` for the current instant.
+
+        Groups are skipped until their trace segment expires; any group
+        (or static rebuild) that actually changed a capacity bumps
+        ``_cap_epoch``.
+        """
+        rev = (self.topology.version, Link.shaping_rev)
+        changed = False
+        if rev != self._scan_rev:
+            changed = self._rebuild_scan()
+            self._scan_rev = rev
+        t = self.now
+        cap = self._cap_values
+        for group in self._scan_groups:
+            if t < group.expiry:
+                continue
+            index, group.expiry = group.trace.index_and_expiry(t)
+            column = np.minimum(group.values[:, index], group.limits)
+            if not np.array_equal(cap[group.rows], column):
+                cap[group.rows] = column
+                changed = True
+        if changed:
+            self._cap_epoch += 1
+
     # -- fluid model ------------------------------------------------------
 
     def _capacities_now(self) -> dict[LinkKey, float]:
-        t = self.now
-        return {
-            (src, dst): link.capacity(src, dst, t)
-            for src, dst, link in self.topology.iter_directed_links()
-        }
+        self._scan_capacities()
+        return dict(zip(self._link_keys, self._cap_values.tolist()))
 
     def capacities_now(self) -> dict[LinkKey, float]:
         """Instantaneous capacity of every directed link (what-if input)."""
         return self._capacities_now()
 
+    def _demands(self) -> list[FlowDemand]:
+        cached = self._demands_cache
+        if cached is not None and cached[0] == self._flows_rev:
+            return cached[1]
+        demands = [
+            FlowDemand(
+                flow_id=fid,
+                links=flow.links,
+                demand_mbps=flow.demand_mbps,
+            )
+            for fid, flow in self._flows.items()
+        ]
+        self._demands_cache = (self._flows_rev, demands)
+        return demands
+
+    def _current_flow_arrays(self) -> FlowArrays:
+        cached = self._flow_arrays
+        if cached is not None and cached[0] == self._flows_rev:
+            return cached[1]
+        arrays = FlowArrays(self._flows, self._link_index)
+        self._flow_arrays = (self._flows_rev, arrays)
+        return arrays
+
     def recompute(self, capacities: Optional[dict[LinkKey, float]] = None) -> None:
         """Recompute the max-min allocation for the current instant.
 
         Args:
-            capacities: the already-computed capacity vector for *now*
-                (``tick`` passes its own scan through so each tick reads
-                the topology exactly once); computed fresh when omitted.
+            capacities: an explicit capacity vector for what-if
+                analysis; omitted (the normal path), the emulator scans
+                the topology and solves incrementally against its own
+                capacity arrays.
 
         The solve is skipped entirely when the allocation fingerprint —
-        topology version, flow-set revision, and the capacity vector —
+        topology version, flow-set revision, and capacity epoch —
         matches the previous computation: nothing moved, so the rates
         already on the flows are still exact.
         """
         if capacities is None:
-            capacities = self._capacities_now()
+            self._scan_capacities()
+            self._recompute_arrays()
+            return
+        # What-if path: solve caller-supplied capacities from scratch.
+        # The incremental engine's cached rates no longer match what is
+        # written on the flows afterwards, so it must be invalidated —
+        # otherwise a later partial re-solve would leave clean
+        # components holding what-if values.
+        rates = max_min_allocation(self._demands(), capacities)
+        for fid, flow in self._flows.items():
+            flow.allocated_mbps = rates.get(fid, 0.0)
+        self._incremental.invalidate()
+        self._alloc_fingerprint = None
+        self._dirty = False
+
+    def _recompute_arrays(self) -> None:
+        """Refresh flow allocations from the capacity arrays."""
         fingerprint = (
             self.topology.version,
             self._flows_rev,
-            tuple(capacities.values()),
+            self._cap_epoch,
         )
         if fingerprint == self._alloc_fingerprint:
             self._dirty = False
             return
-        cached = self._demands_cache
-        if cached is not None and cached[0] == self._flows_rev:
-            demands = cached[1]
+        rates, changed = self._incremental.solve(
+            self._demands(),
+            self._link_index,
+            self._cap_values,
+            (self.topology.version, self._flows_rev),
+        )
+        if changed is None:
+            for fid, flow in self._flows.items():
+                flow.allocated_mbps = rates.get(fid, 0.0)
         else:
-            demands = [
-                FlowDemand(
-                    flow_id=fid,
-                    links=flow.links,
-                    demand_mbps=flow.demand_mbps,
-                )
-                for fid, flow in self._flows.items()
-            ]
-            self._demands_cache = (self._flows_rev, demands)
-        rates = max_min_allocation(demands, capacities)
-        for fid, flow in self._flows.items():
-            flow.allocated_mbps = rates.get(fid, 0.0)
+            flows = self._flows
+            for fid in changed:
+                flows[fid].allocated_mbps = rates[fid]
         self._alloc_fingerprint = fingerprint
         self._dirty = False
 
     def tick(self) -> None:
         """Advance queues by one step and refresh the allocation."""
-        capacities = self._capacities_now()
-        offered: dict[LinkKey, float] = {key: 0.0 for key in self._queues}
-        for flow in self._flows.values():
-            for key in flow.links:
-                offered[key] += flow.demand_mbps
-            self._offered_mbit_by_tag[flow.tag] = (
-                self._offered_mbit_by_tag.get(flow.tag, 0.0)
-                + flow.demand_mbps * self.tick_s * max(len(flow.links), 0)
-            )
-        for key, queue in self._queues.items():
-            queue.update(self.tick_s, offered[key], capacities[key])
-        self.recompute(capacities)
+        t0 = _time.perf_counter()
+        self._scan_capacities()
+        t1 = _time.perf_counter()
+        arrays = self._current_flow_arrays()
+        offered = arrays.offered_mbps(len(self._link_keys))
+        arrays.accumulate_offered_by_tag(self.tick_s, self._offered_mbit_by_tag)
+        self._queue_arrays.update_all(self.tick_s, offered, self._cap_values)
+        t2 = _time.perf_counter()
+        self._recompute_arrays()
+        t3 = _time.perf_counter()
+        phases = self._phase_s
+        phases["capacity_scan"] += t1 - t0
+        phases["bookkeeping"] += t2 - t1
+        phases["solve"] += t3 - t2
+        self._phase_ticks += 1
+        profiler = self.engine.profiler
+        if profiler is not None:
+            prefix = "repro.net.netem.NetworkEmulator.tick"
+            profiler.record_external(f"{prefix}[capacity_scan]", t1 - t0)
+            profiler.record_external(f"{prefix}[bookkeeping]", t2 - t1)
+            profiler.record_external(f"{prefix}[solve]", t3 - t2)
+
+    def tick_phase_stats(self) -> dict:
+        """Per-phase cumulative tick wall time, for diagnostics.
+
+        Returns ``{"ticks": n, "seconds": {phase: total_s}}``.  Wall
+        clock, so never folded into run summaries or traces — only
+        surfaced through /metrics gauges, the profiler table, and the
+        report's profile section.
+        """
+        return {"ticks": self._phase_ticks, "seconds": dict(self._phase_s)}
+
+    def solver_stats(self) -> dict[str, int]:
+        """Counters from the incremental allocator (deterministic)."""
+        inc = self._incremental
+        return {
+            "full_solves": inc.full_solves,
+            "partial_solves": inc.partial_solves,
+            "components_resolved": inc.components_resolved,
+            "components": inc.component_count,
+        }
 
     def _ensure_fresh(self) -> None:
         if self._dirty:
             self.recompute()
+
+    # -- serialization ----------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Checkpoint support: derived structures are rebuilt on use.
+
+        The scan groups duplicate trace data, and the flow/demand
+        mirrors duplicate the flow table; all are dropped from the
+        payload.  ``_cap_values`` and ``_cap_epoch`` *are* kept — a
+        restored emulator's first scan rebuilds the groups, re-reads
+        the same values, finds nothing changed, and therefore resumes
+        with the same allocation fingerprint.  Wall-clock phase
+        accounting is reset so snapshot payloads stay deterministic.
+        """
+        state = self.__dict__.copy()
+        state["_scan_rev"] = None
+        state["_scan_groups"] = []
+        state["_flow_arrays"] = None
+        state["_demands_cache"] = None
+        state["_phase_s"] = dict.fromkeys(TICK_PHASES, 0.0)
+        state["_phase_ticks"] = 0
+        return state
 
     # -- queries ----------------------------------------------------------
 

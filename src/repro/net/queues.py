@@ -6,11 +6,27 @@ offered load, the backlog drains.  Queueing delay is backlog divided by
 capacity (the time the newest bit waits), and offered traffic beyond a
 full buffer is dropped — giving both the latency inflation of Fig 5 and
 the packet loss of Fig 4 from one mechanism.
+
+Two representations share the same arithmetic:
+
+* :class:`LinkQueue` — one queue, plain attributes.  Still the unit of
+  the object API.
+* :class:`QueueArrays` + :class:`ArrayLinkQueue` — the emulator's
+  structure-of-arrays storage: all queues of a mesh advance in one
+  vectorized :meth:`QueueArrays.update_all` step whose elementwise
+  operations replay :meth:`LinkQueue.update` in the same IEEE-754
+  order, so the two paths are bit-identical.  ``ArrayLinkQueue`` is a
+  property-backed view over one row, so every inherited method
+  (``update``, ``delay_s``, ``reset``) reads and writes the shared
+  arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..errors import SimulationError
 
@@ -103,3 +119,143 @@ class LinkQueue:
         """Empty the queue (e.g. after a topology change in tests)."""
         self._backlog_mbit = 0.0
         self._last_loss_fraction = 0.0
+
+
+class QueueArrays:
+    """Structure-of-arrays state for every directed-link queue of a mesh.
+
+    Row *i* holds the queue of directed link *i* (the emulator's stable
+    link ordering).  :meth:`update_all` advances every row in one
+    vectorized pass whose elementwise arithmetic matches
+    :meth:`LinkQueue.update` operation for operation, so a run through
+    the arrays is bit-identical to a run through per-object queues.
+    """
+
+    __slots__ = (
+        "buffer_mbit",
+        "backlog_mbit",
+        "last_loss_fraction",
+        "dropped_mbit_total",
+        "_scratch_offered",
+        "_scratch_dropped",
+    )
+
+    def __init__(self, buffer_mbit: Sequence[float] | np.ndarray) -> None:
+        self.buffer_mbit = np.asarray(buffer_mbit, dtype=float).copy()
+        if self.buffer_mbit.ndim != 1:
+            raise SimulationError("buffer_mbit must be one-dimensional")
+        if np.any(self.buffer_mbit <= 0):
+            raise SimulationError("buffer_mbit must be positive")
+        n = self.buffer_mbit.size
+        self.backlog_mbit = np.zeros(n, dtype=float)
+        self.last_loss_fraction = np.zeros(n, dtype=float)
+        self.dropped_mbit_total = np.zeros(n, dtype=float)
+        self._scratch_offered = np.empty(n, dtype=float)
+        self._scratch_dropped = np.empty(n, dtype=float)
+
+    def __len__(self) -> int:
+        return self.buffer_mbit.size
+
+    def update_all(
+        self,
+        dt_s: float,
+        offered_mbps: np.ndarray,
+        capacity_mbps: np.ndarray,
+    ) -> None:
+        """Advance every queue by ``dt_s`` seconds.
+
+        Replays ``LinkQueue.update`` elementwise:
+        ``backlog + offered*dt - drained*dt``, clamp to the buffer
+        (excess is dropped), clamp at zero, then the per-step loss
+        fraction ``min(1, dropped/offered_mbit)`` (zero when nothing
+        was offered).
+        """
+        if dt_s < 0:
+            raise SimulationError("dt_s must be non-negative")
+        offered_mbit = self._scratch_offered
+        np.maximum(offered_mbps, 0.0, out=offered_mbit)
+        offered_mbit *= dt_s
+        backlog = self.backlog_mbit
+        # backlog = backlog + offered_mbit - drained_mbit, in the same
+        # association as the scalar path.
+        backlog += offered_mbit
+        drained = np.maximum(capacity_mbps, 0.0)
+        drained *= dt_s
+        backlog -= drained
+        dropped = self._scratch_dropped
+        np.subtract(backlog, self.buffer_mbit, out=dropped)
+        np.maximum(dropped, 0.0, out=dropped)
+        np.minimum(backlog, self.buffer_mbit, out=backlog)
+        np.maximum(backlog, 0.0, out=backlog)
+        self.dropped_mbit_total += dropped
+        loss = self.last_loss_fraction
+        loss.fill(0.0)
+        np.divide(dropped, offered_mbit, out=loss, where=offered_mbit > 0)
+        np.minimum(loss, 1.0, out=loss)
+
+    def __getstate__(self) -> dict:
+        return {
+            "buffer_mbit": self.buffer_mbit,
+            "backlog_mbit": self.backlog_mbit,
+            "last_loss_fraction": self.last_loss_fraction,
+            "dropped_mbit_total": self.dropped_mbit_total,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.buffer_mbit = state["buffer_mbit"]
+        self.backlog_mbit = state["backlog_mbit"]
+        self.last_loss_fraction = state["last_loss_fraction"]
+        self.dropped_mbit_total = state["dropped_mbit_total"]
+        n = self.buffer_mbit.size
+        self._scratch_offered = np.empty(n, dtype=float)
+        self._scratch_dropped = np.empty(n, dtype=float)
+
+
+class ArrayLinkQueue(LinkQueue):
+    """:class:`LinkQueue` view over one row of a :class:`QueueArrays`.
+
+    The scalar attributes become properties that read and write the
+    shared arrays, so every inherited method (``update``, ``delay_s``,
+    ``reset``) — and every external reader of the queue API — operates
+    on the emulator's structure-of-arrays state.  Data descriptors win
+    over instance attributes, so the base-class ``__init__`` is
+    bypassed on purpose.
+    """
+
+    __slots__ = ("_arrays", "_row")
+
+    def __init__(self, arrays: QueueArrays, row: int) -> None:
+        self._arrays = arrays
+        self._row = row
+
+    @property
+    def _buffer_mbit(self) -> float:  # type: ignore[override]
+        return float(self._arrays.buffer_mbit[self._row])
+
+    @_buffer_mbit.setter
+    def _buffer_mbit(self, value: float) -> None:
+        self._arrays.buffer_mbit[self._row] = value
+
+    @property
+    def _backlog_mbit(self) -> float:  # type: ignore[override]
+        return float(self._arrays.backlog_mbit[self._row])
+
+    @_backlog_mbit.setter
+    def _backlog_mbit(self, value: float) -> None:
+        self._arrays.backlog_mbit[self._row] = value
+
+    @property
+    def _last_loss_fraction(self) -> float:  # type: ignore[override]
+        return float(self._arrays.last_loss_fraction[self._row])
+
+    @_last_loss_fraction.setter
+    def _last_loss_fraction(self, value: float) -> None:
+        self._arrays.last_loss_fraction[self._row] = value
+
+    @property
+    def _dropped_mbit_total(self) -> float:  # type: ignore[override]
+        return float(self._arrays.dropped_mbit_total[self._row])
+
+    @_dropped_mbit_total.setter
+    def _dropped_mbit_total(self, value: float) -> None:
+        self._arrays.dropped_mbit_total[self._row] = value

@@ -71,6 +71,16 @@ HELP_TEXT = {
     "bass_rolling_detection_latency_p95_seconds": (
         "p95 failure-detection latency over the rolling window."
     ),
+    "bass_tick_count": "Emulator fluid-model ticks executed.",
+    "bass_tick_phase_seconds": (
+        "Cumulative emulator tick wall time, by phase (wall clock)."
+    ),
+    "bass_solver_full_solves": "From-scratch max-min solves.",
+    "bass_solver_partial_solves": "Dirty-component incremental re-solves.",
+    "bass_solver_components_resolved": (
+        "Connected components re-solved across all partial solves."
+    ),
+    "bass_solver_components": "Connected components in the flow set.",
 }
 
 
@@ -135,17 +145,47 @@ def _render_histogram(
     )
 
 
+def tick_profile_samples(
+    phase_stats: dict, solver_stats: dict
+) -> list[tuple[str, tuple[tuple[str, str], ...], float]]:
+    """``(name, labels, value)`` rows for the emulator's tick profile.
+
+    Takes the plain dicts ``NetworkEmulator.tick_phase_stats()`` /
+    ``solver_stats()`` return, so the scrape handler can expose the
+    live numbers as transient gauges without writing them into any
+    pickled registry state (serve checkpoints must not depend on when
+    a scraper happened to hit ``/metrics``).
+    """
+    samples: list[tuple[str, tuple[tuple[str, str], ...], float]] = [
+        ("bass_tick_count", (), float(phase_stats.get("ticks", 0)))
+    ]
+    for phase, seconds in sorted(
+        (phase_stats.get("seconds") or {}).items()
+    ):
+        samples.append(
+            ("bass_tick_phase_seconds", (("phase", str(phase)),),
+             float(seconds))
+        )
+    for key, value in sorted(solver_stats.items()):
+        samples.append((f"bass_solver_{key}", (), float(value)))
+    return samples
+
+
 def render_openmetrics(
     registry: InstrumentRegistry,
     windows: Optional["RollingWindows"] = None,
     *,
     now: Optional[float] = None,
+    extra_samples: Optional[list] = None,
 ) -> str:
     """The whole registry (plus rolling gauges) in Prometheus text form.
 
     Samples are grouped per metric name under one ``# HELP``/``# TYPE``
     block and ordered deterministically by ``(name, labels)``; the
     output ends with the OpenMetrics ``# EOF`` marker.
+    ``extra_samples`` takes additional bare ``(name, labels, value)``
+    rows (e.g. :func:`tick_profile_samples`) merged into the same
+    ordering.
     """
     samples: list[tuple[str, tuple[tuple[str, str], ...], object]] = list(
         registry.items()
@@ -153,6 +193,9 @@ def render_openmetrics(
     if windows is not None:
         at = now if now is not None else windows.last_time
         samples.extend(windows.gauge_samples(at))
+    if extra_samples:
+        samples.extend(extra_samples)
+    if windows is not None or extra_samples:
         samples.sort(key=lambda entry: (entry[0], entry[1]))
     lines: list[str] = []
     previous_name: Optional[str] = None

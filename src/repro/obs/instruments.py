@@ -187,7 +187,11 @@ class StandardInstruments:
       outcome (executed / cached / failed), with
       ``bass_sweep_cell_seconds`` timing fresh executions and the
       ``bass_sweep_cells_per_second`` / ``bass_sweep_cache_hit_rate``
-      gauges carrying each sweep's closing summary.
+      gauges carrying each sweep's closing summary;
+    * ``bass_tick_count`` / ``bass_tick_phase_seconds{phase}`` /
+      ``bass_solver_*`` — the emulator's tick count, cumulative wall
+      time per tick phase, and incremental-solver counters, from the
+      ``profile.tick_phases`` event ``run --profile`` emits.
     """
 
     def __init__(self, registry: Optional[InstrumentRegistry] = None) -> None:
@@ -282,3 +286,18 @@ class StandardInstruments:
             registry.gauge("bass_sweep_cache_hit_rate").set(
                 time, event.data.get("cache_hit_rate", 0.0)
             )
+        elif kind == "profile.tick_phases":
+            registry.gauge("bass_tick_count").set(
+                time, float(event.data.get("ticks", 0))
+            )
+            phase_seconds = event.data.get("phase_seconds") or {}
+            for phase, seconds in sorted(phase_seconds.items()):
+                registry.gauge(
+                    "bass_tick_phase_seconds", phase=str(phase)
+                ).set(time, float(seconds))
+            for key, value in sorted(
+                (event.data.get("solver") or {}).items()
+            ):
+                registry.gauge(f"bass_solver_{key}").set(
+                    time, float(value)
+                )

@@ -492,4 +492,30 @@ def render_report(events: Sequence[TraceEvent]) -> str:
             "    " + row
             for row in text_histogram(utilizations, bins=8).splitlines()
         )
+
+    profiles = [e for e in events if e.kind == "profile.tick_phases"]
+    if profiles:
+        last = profiles[-1]
+        ticks = last.data.get("ticks", 0)
+        lines.append("")
+        lines.append(
+            f"tick profile @{last.time:.1f}s — {ticks} emulator tick(s), "
+            f"wall clock:"
+        )
+        for phase, seconds in sorted(
+            (last.data.get("phase_seconds") or {}).items()
+        ):
+            per_ms = seconds / ticks * 1000.0 if ticks else 0.0
+            lines.append(
+                f"  {phase:<14s} {seconds:9.3f}s total "
+                f"{per_ms:8.3f} ms/tick"
+            )
+        solver = last.data.get("solver") or {}
+        if solver:
+            lines.append(
+                f"  solver: {solver.get('full_solves', 0)} full solve(s), "
+                f"{solver.get('partial_solves', 0)} partial, "
+                f"{solver.get('components_resolved', 0)} component(s) "
+                f"re-solved of {solver.get('components', 0)}"
+            )
     return "\n".join(lines)

@@ -9,7 +9,8 @@ two serialized by one lock.  The endpoints:
 
 =============  ===========================================================
 ``/metrics``   Prometheus/OpenMetrics text: every instrument plus the
-               rolling-window gauges (:mod:`repro.obs.exposition`).
+               rolling-window and tick-profile gauges
+               (:mod:`repro.obs.exposition`).
 ``/v1/status`` The status publisher's latest ``status.json`` document
                (:mod:`repro.obs.status`), fresh-rendered before the
                first publish.
@@ -34,7 +35,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from .exposition import CONTENT_TYPE, RollingWindows, render_openmetrics
+from .exposition import (
+    CONTENT_TYPE,
+    RollingWindows,
+    render_openmetrics,
+    tick_profile_samples,
+)
 from .instruments import InstrumentRegistry
 from .slo import DEFAULT_SLO_RULES, SloRule, SloWatchdog
 from .status import StatusPublisher
@@ -288,8 +294,23 @@ class _Handler(BaseHTTPRequestHandler):
         with live.lock:
             now = live.engine.now
             if path == "/metrics":
+                # Tick-phase/solver numbers ride along as transient
+                # gauges read off the emulator at scrape time — they
+                # never touch pickled registry state, so checkpoint
+                # payloads stay independent of scrape timing.
+                netem = getattr(live.env, "netem", None)
+                extra = (
+                    tick_profile_samples(
+                        netem.tick_phase_stats(), netem.solver_stats()
+                    )
+                    if netem is not None
+                    else None
+                )
                 body = render_openmetrics(
-                    plane.registry, plane.windows, now=now
+                    plane.registry,
+                    plane.windows,
+                    now=now,
+                    extra_samples=extra,
                 ).encode()
                 content_type = CONTENT_TYPE
             elif path == "/v1/status":

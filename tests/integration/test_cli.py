@@ -31,6 +31,31 @@ class TestCli:
         assert experiment in out
         assert "---" in out  # a table was printed
 
+    def test_run_profile_prints_tick_breakdown(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["run", "fig13", "--quick", "--profile",
+                 "--trace", str(trace)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "tick profile" in captured.err
+        assert "solve" in captured.err
+        assert "ms/tick" in captured.err
+        # Sub-callback accounting lands in the engine profiler table.
+        assert "NetworkEmulator.tick[" in captured.err
+        # The wall-clock numbers stay off the deterministic stdout.
+        assert "tick profile" not in captured.out
+        # The trace carries the profile event; the report renders it.
+        assert main(["report", str(trace)]) == 0
+        assert "tick profile @" in capsys.readouterr().out
+
+    def test_profile_rejected_for_sweep_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig2", "--quick", "--profile"])
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig999"])

@@ -73,6 +73,10 @@ class TestLiveEndpoints:
         assert headers["Content-Type"].startswith("text/plain")
         assert "bass_probes_total" in body
         assert 'bass_rolling_probe_rate_per_second{scope="fleet"}' in body
+        # The emulator's tick profile rides along as transient gauges.
+        assert "bass_tick_count 4" in body  # 45 ticks so far
+        assert 'bass_tick_phase_seconds{phase="solve"}' in body
+        assert "bass_solver_full_solves" in body
         assert body.endswith("# EOF\n")
 
         code, _, epoch_body = _get(server, "/v1/epoch")

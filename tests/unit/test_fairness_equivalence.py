@@ -1,13 +1,23 @@
 """Bit-compatibility of the fast-path allocators against the oracle.
 
-The indexed and vectorized solvers in ``repro.net.fairness`` must return
-*exactly* the allocation the frozen reference implementation computes —
-not merely close: the emulator's golden figure benchmarks are pinned
-byte-for-byte, so any reassociated float operation would surface as a
-golden diff.  This suite replays hundreds of seeded random instances —
-including loopback flows, zero demands, saturated links, and dead
-(zero-capacity) links — through all three solvers and compares with
-``==``, no tolerance.
+The indexed and vectorized kernels in ``repro.net.fairness`` must return
+*exactly* the allocation the oracle computes — not merely close: the
+emulator's golden figure benchmarks are pinned byte-for-byte, so any
+reassociated float operation would surface as a golden diff.
+
+The canonical semantics are *decomposed*: ``max_min_allocation`` splits
+an instance into link-connected components and solves each one
+independently, so the oracle for a general instance is
+``max_min_allocation(..., solver="reference")`` — the frozen reference
+kernel run per component.  On a *single-component* instance the
+decomposed solve is additionally bit-identical to the frozen *global*
+``max_min_allocation_reference`` (asserted below); multi-component
+instances may differ from the global loop at the ulp level because the
+global loop interleaves rounds across independent components.
+
+This suite replays hundreds of seeded random instances — including
+loopback flows, zero demands, saturated links, and dead (zero-capacity)
+links — through all kernels and compares with ``==``, no tolerance.
 """
 
 import numpy as np
@@ -17,7 +27,9 @@ from repro.net.fairness import (
     _VECTOR_MIN_ENTRIES,
     _VECTOR_MIN_FLOWS,
     FlowDemand,
+    _partition_flows,
     auto_solver,
+    link_components,
     max_min_allocation,
     max_min_allocation_reference,
 )
@@ -72,12 +84,40 @@ def test_solvers_bit_identical_on_random_instances(
     for case in range(instances):
         rng = np.random.default_rng(seed_base + case)
         flows, capacities = random_instance(rng, n_links, n_flows)
-        expected = max_min_allocation_reference(flows, capacities)
+        expected = max_min_allocation(flows, capacities, solver="reference")
         for solver in ("indexed", "vectorized", "auto"):
             got = max_min_allocation(flows, capacities, solver=solver)
             assert got == expected, (
                 f"solver={solver} diverged on seed {seed_base + case}"
             )
+
+
+@pytest.mark.parametrize(
+    "instances,n_links,n_flows,seed_base",
+    SIZE_CLASSES,
+    ids=["small", "medium", "large"],
+)
+def test_single_component_instances_match_global_reference(
+    instances, n_links, n_flows, seed_base
+):
+    """On one connected component, decomposition is a no-op: every
+    kernel (and the decomposed dispatch itself) must equal the frozen
+    *global* reference loop bit for bit."""
+    checked = 0
+    for case in range(instances):
+        rng = np.random.default_rng(seed_base + case)
+        flows, capacities = random_instance(rng, n_links, n_flows)
+        _, active = _partition_flows(flows, capacities)
+        if not active or len(link_components(active)) != 1:
+            continue
+        checked += 1
+        expected = max_min_allocation_reference(flows, capacities)
+        for solver in ("reference", "indexed", "vectorized", "auto"):
+            got = max_min_allocation(flows, capacities, solver=solver)
+            assert got == expected, (
+                f"solver={solver} diverged on seed {seed_base + case}"
+            )
+    assert checked > 0, "no single-component instances in this size class"
 
 
 def test_all_solvers_handle_empty_input():
@@ -113,9 +153,9 @@ def test_auto_uses_vectorized_on_large_instances():
     on a shape that actually crosses the thresholds."""
     rng = np.random.default_rng(77)
     flows, capacities = random_instance(rng, 100, 400)
-    assert max_min_allocation(
-        flows, capacities
-    ) == max_min_allocation_reference(flows, capacities)
+    assert max_min_allocation(flows, capacities) == max_min_allocation(
+        flows, capacities, solver="reference"
+    )
 
 
 def test_auto_never_picks_vectorized_on_small_perf_instances():

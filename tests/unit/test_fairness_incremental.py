@@ -1,0 +1,252 @@
+"""Exactness of the incremental max-min engine under perturbation.
+
+:class:`repro.net.fairness.IncrementalMaxMin` re-runs water-filling
+only over components whose link capacities moved; everything else keeps
+cached rates.  The emulator leans on this every tick, and the golden
+figures are pinned byte-for-byte — so "only re-solve the dirty part"
+must produce *exactly* (``==``, no tolerance) the allocation a
+from-scratch ``max_min_allocation`` computes, at every step of a long
+perturbation history: single-link capacity deltas, link death and
+revival, flow add/remove, demand changes, duplicate links on a path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.fairness import (
+    FlowDemand,
+    IncrementalMaxMin,
+    max_min_allocation,
+)
+
+
+class PerturbationHarness:
+    """A mutable allocation instance driving one incremental engine.
+
+    Keeps the flow set, the link-capacity array, and a shape revision
+    that bumps exactly when the flow set changes — the same discipline
+    the emulator follows — and checks every engine answer against a
+    from-scratch solve.
+    """
+
+    def __init__(self, n_links: int, seed: int, **engine_kwargs):
+        self.rng = np.random.default_rng(seed)
+        self.links = [(f"n{i}", f"n{i + 1}") for i in range(n_links)]
+        self.link_index = {key: i for i, key in enumerate(self.links)}
+        self.cap_values = self.rng.uniform(1.0, 100.0, size=n_links)
+        self.flows: dict[str, FlowDemand] = {}
+        self.rev = 0
+        self.next_fid = 0
+        self.engine = IncrementalMaxMin(**engine_kwargs)
+        self.prev_rates: dict = {}
+
+    # -- mutations ------------------------------------------------------
+
+    def random_path(self) -> tuple:
+        n_links = len(self.links)
+        start = int(self.rng.integers(0, n_links))
+        hops = int(self.rng.integers(1, min(5, n_links) + 1))
+        path = [self.links[(start + h) % n_links] for h in range(hops)]
+        if self.rng.random() < 0.15:
+            # Duplicate link on the path: legal for the public API, and
+            # it must double-count in the incremental engine too.
+            path.append(path[0])
+        return tuple(path)
+
+    def add_flow(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.08:
+            path = ()  # loopback
+        else:
+            path = self.random_path()
+        if self.rng.random() < 0.08:
+            demand = 0.0
+        else:
+            demand = float(self.rng.uniform(0.1, 80.0))
+        fid = f"f{self.next_fid}"
+        self.next_fid += 1
+        self.flows[fid] = FlowDemand(fid, path, demand)
+        self.rev += 1
+
+    def remove_flow(self) -> None:
+        if not self.flows:
+            return
+        fids = list(self.flows)
+        fid = fids[int(self.rng.integers(0, len(fids)))]
+        del self.flows[fid]
+        self.rev += 1
+
+    def change_demand(self) -> None:
+        if not self.flows:
+            return
+        fids = list(self.flows)
+        fid = fids[int(self.rng.integers(0, len(fids)))]
+        old = self.flows[fid]
+        self.flows[fid] = FlowDemand(
+            fid, old.links, float(self.rng.uniform(0.1, 80.0))
+        )
+        self.rev += 1
+
+    def perturb_link(self) -> None:
+        li = int(self.rng.integers(0, len(self.links)))
+        self.cap_values[li] = float(
+            self.cap_values[li] * self.rng.uniform(0.3, 1.7) + 1e-6
+        )
+
+    def kill_link(self) -> None:
+        li = int(self.rng.integers(0, len(self.links)))
+        self.cap_values[li] = 0.0
+
+    def revive_link(self) -> None:
+        dead = np.flatnonzero(self.cap_values == 0.0)
+        if dead.size == 0:
+            return
+        li = int(dead[int(self.rng.integers(0, dead.size))])
+        self.cap_values[li] = float(self.rng.uniform(1.0, 100.0))
+
+    def step(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.45:
+            self.perturb_link()
+        elif roll < 0.55:
+            self.kill_link()
+        elif roll < 0.62:
+            self.revive_link()
+        elif roll < 0.80:
+            self.add_flow()
+        elif roll < 0.93:
+            self.remove_flow()
+        else:
+            self.change_demand()
+
+    # -- the check ------------------------------------------------------
+
+    def solve_and_verify(self) -> None:
+        flow_list = list(self.flows.values())
+        rates, changed = self.engine.solve(
+            flow_list,
+            self.link_index,
+            self.cap_values,
+            ("rev", self.rev),
+        )
+        capacities = dict(zip(self.links, self.cap_values.tolist()))
+        expected = max_min_allocation(flow_list, capacities)
+        assert rates == expected, (
+            f"incremental diverged from scratch solve (rev={self.rev})"
+        )
+        if changed is not None:
+            # Partial re-solve: same flow universe as last time, and
+            # every flow outside the re-solved components kept its rate.
+            assert rates.keys() == self.prev_rates.keys()
+            untouched = rates.keys() - set(changed)
+            for fid in untouched:
+                assert rates[fid] == self.prev_rates[fid], fid
+        self.prev_rates = dict(rates)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_incremental_equals_scratch_over_perturbation_history(seed):
+    """>= 200 seeded steps of capacity deltas, link death/revival, flow
+    churn, and demand changes — exact equality at every step."""
+    harness = PerturbationHarness(
+        n_links=30, seed=seed * 1000, min_flows=0
+    )
+    for _ in range(25):
+        harness.add_flow()
+    harness.solve_and_verify()
+    for _ in range(200):
+        harness.step()
+        harness.solve_and_verify()
+    # The history must have genuinely exercised both paths.
+    assert harness.engine.full_solves > 5
+    assert harness.engine.partial_solves > 5
+    assert harness.engine.components_resolved >= harness.engine.partial_solves
+
+
+def test_incremental_with_production_thresholds_still_exact():
+    """Same property with the baked-in guards (min_flows, the
+    full-fraction fallback) left at their calibrated defaults."""
+    harness = PerturbationHarness(n_links=40, seed=99)
+    for _ in range(60):
+        harness.add_flow()
+    harness.solve_and_verify()
+    for _ in range(200):
+        harness.step()
+        harness.solve_and_verify()
+
+
+def test_clean_capacities_return_cached_rates_without_resolving():
+    harness = PerturbationHarness(n_links=10, seed=7, min_flows=0)
+    for _ in range(8):
+        harness.add_flow()
+    rates, changed = harness.engine.solve(
+        list(harness.flows.values()),
+        harness.link_index,
+        harness.cap_values,
+        ("rev", harness.rev),
+    )
+    assert changed is None  # first call is a full solve
+    before = (
+        harness.engine.full_solves,
+        harness.engine.partial_solves,
+        harness.engine.components_resolved,
+    )
+    again, changed = harness.engine.solve(
+        list(harness.flows.values()),
+        harness.link_index,
+        harness.cap_values,
+        ("rev", harness.rev),
+    )
+    assert changed == []
+    assert again is rates  # cached object, no work done
+    assert before == (
+        harness.engine.full_solves,
+        harness.engine.partial_solves,
+        harness.engine.components_resolved,
+    )
+
+
+def test_invalidate_forces_full_resolve():
+    harness = PerturbationHarness(n_links=10, seed=11, min_flows=0)
+    for _ in range(8):
+        harness.add_flow()
+    harness.solve_and_verify()
+    full_before = harness.engine.full_solves
+    harness.engine.invalidate()
+    _, changed = harness.engine.solve(
+        list(harness.flows.values()),
+        harness.link_index,
+        harness.cap_values,
+        ("rev", harness.rev),
+    )
+    assert changed is None
+    assert harness.engine.full_solves == full_before + 1
+
+
+def test_shape_change_triggers_full_resolve_and_new_structure():
+    harness = PerturbationHarness(n_links=20, seed=23, min_flows=0)
+    for _ in range(12):
+        harness.add_flow()
+    harness.solve_and_verify()
+    assert harness.engine.component_count > 0
+    harness.add_flow()
+    _, changed = harness.engine.solve(
+        list(harness.flows.values()),
+        harness.link_index,
+        harness.cap_values,
+        ("rev", harness.rev),
+    )
+    assert changed is None  # shape rev moved -> full solve
+
+
+def test_small_instances_skip_dirty_tracking():
+    """Below ``min_flows`` every call is a full solve (the calibrated
+    guard: bookkeeping costs more than the solve itself)."""
+    harness = PerturbationHarness(n_links=10, seed=31, min_flows=1000)
+    for _ in range(8):
+        harness.add_flow()
+    harness.solve_and_verify()
+    harness.perturb_link()
+    harness.solve_and_verify()
+    assert harness.engine.full_solves == 2
+    assert harness.engine.partial_solves == 0

@@ -182,16 +182,17 @@ class TestAccounting:
 
 class TestAllocationCaching:
     def _solve_counter(self, emu, monkeypatch):
-        import repro.net.netem as netem_mod
-
+        # Every non-what-if solve goes through the retained incremental
+        # engine; the fingerprint check sits in front of it, so counting
+        # its calls counts actual solves.
         calls = {"n": 0}
-        real = netem_mod.max_min_allocation
+        real = emu._incremental.solve
 
         def counting(*args, **kwargs):
             calls["n"] += 1
             return real(*args, **kwargs)
 
-        monkeypatch.setattr(netem_mod, "max_min_allocation", counting)
+        monkeypatch.setattr(emu._incremental, "solve", counting)
         return calls
 
     def test_fingerprint_skips_unchanged_recompute(self, monkeypatch):
@@ -241,13 +242,13 @@ class TestAllocationCaching:
         emu = make_emulator([10.0])
         emu.add_flow("f", "node1", "node2", 4.0)
         scans = {"n": 0}
-        real = emu._capacities_now
+        real = emu._scan_capacities
 
         def counting():
             scans["n"] += 1
             return real()
 
-        monkeypatch.setattr(emu, "_capacities_now", counting)
+        monkeypatch.setattr(emu, "_scan_capacities", counting)
         emu.tick()
         assert scans["n"] == 1
 

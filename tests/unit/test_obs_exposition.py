@@ -12,6 +12,7 @@ from repro.obs.exposition import (
     escape_label_value,
     format_value,
     render_openmetrics,
+    tick_profile_samples,
 )
 from repro.obs.instruments import InstrumentRegistry
 from repro.obs.trace import TraceEvent
@@ -220,3 +221,60 @@ class TestRollingWindows:
     def test_unknown_metric_raises(self):
         with pytest.raises(KeyError):
             RollingWindows().value("nope")
+
+
+class TestTickProfileSamples:
+    def _stats(self):
+        phases = {
+            "ticks": 30,
+            "seconds": {
+                "capacity_scan": 0.1, "bookkeeping": 0.05, "solve": 0.6,
+            },
+        }
+        solver = {
+            "full_solves": 1, "partial_solves": 4,
+            "components_resolved": 9, "components": 3,
+        }
+        return phases, solver
+
+    def test_rows_cover_ticks_phases_and_solver(self):
+        phases, solver = self._stats()
+        rows = tick_profile_samples(phases, solver)
+        assert ("bass_tick_count", (), 30.0) in rows
+        assert (
+            "bass_tick_phase_seconds", (("phase", "solve"),), 0.6
+        ) in rows
+        assert ("bass_solver_partial_solves", (), 4.0) in rows
+        assert ("bass_solver_components", (), 3.0) in rows
+
+    def test_renders_as_gauges_with_help_text(self):
+        phases, solver = self._stats()
+        text = render_openmetrics(
+            InstrumentRegistry(),
+            extra_samples=tick_profile_samples(phases, solver),
+        )
+        assert "# TYPE bass_tick_phase_seconds gauge" in text
+        assert "# HELP bass_tick_count Emulator fluid-model ticks" in text
+        assert 'bass_tick_phase_seconds{phase="solve"} 0.6' in text
+        assert "bass_solver_full_solves 1" in text
+
+    def test_merges_with_rolling_window_samples_in_order(self):
+        phases, solver = self._stats()
+        windows = RollingWindows(window_s=10.0, slots=10)
+        text = render_openmetrics(
+            InstrumentRegistry(),
+            windows,
+            now=0.0,
+            extra_samples=tick_profile_samples(phases, solver),
+        )
+        # One deterministic (name, labels) ordering across both sources.
+        names = [
+            line.split("{")[0].split(" ")[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert names == sorted(names)
+
+    def test_empty_phase_dict_still_reports_tick_count(self):
+        rows = tick_profile_samples({"ticks": 0, "seconds": {}}, {})
+        assert rows == [("bass_tick_count", (), 0.0)]

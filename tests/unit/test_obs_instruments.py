@@ -122,3 +122,36 @@ class TestStandardInstruments:
         tracer = Tracer(instruments=instruments)
         tracer.emit("run.start", 0.0, seed=1)  # must not raise
         assert instruments.registry.collector.names() == set()
+
+    def test_tick_profile_event_sets_phase_and_solver_gauges(self):
+        tracer = Tracer.with_instruments()
+        tracer.emit(
+            "profile.tick_phases", 120.0,
+            ticks=120,
+            phase_seconds={
+                "capacity_scan": 0.5, "bookkeeping": 0.25, "solve": 1.5,
+            },
+            solver={
+                "full_solves": 2, "partial_solves": 17,
+                "components_resolved": 40, "components": 8,
+            },
+        )
+        registry = tracer.instruments.registry
+        assert registry.gauge("bass_tick_count").value == 120.0
+        assert (
+            registry.gauge("bass_tick_phase_seconds", phase="solve").value
+            == 1.5
+        )
+        assert (
+            registry.gauge(
+                "bass_tick_phase_seconds", phase="capacity_scan"
+            ).value
+            == 0.5
+        )
+        assert registry.gauge("bass_solver_partial_solves").value == 17.0
+        assert registry.gauge("bass_solver_components").value == 8.0
+
+    def test_tick_profile_event_tolerates_missing_fields(self):
+        tracer = Tracer.with_instruments()
+        tracer.emit("profile.tick_phases", 5.0)  # must not raise
+        assert tracer.instruments.registry.gauge("bass_tick_count").value == 0.0

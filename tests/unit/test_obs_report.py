@@ -119,3 +119,40 @@ class TestMigrationChainDataclass:
     def test_complete_requires_all_links(self):
         selected = TraceEvent(id=1, kind="migration.selected", time=0.0)
         assert not MigrationChain(selected=selected).complete
+
+
+class TestTickProfileSection:
+    def test_profile_event_renders_phase_and_solver_lines(self):
+        tracer = Tracer()
+        tracer.emit("run.start", 0.0, seed=0)
+        tracer.emit(
+            "profile.tick_phases", 300.0,
+            ticks=300,
+            phase_seconds={
+                "capacity_scan": 0.3, "bookkeeping": 0.15, "solve": 0.9,
+            },
+            solver={
+                "full_solves": 1, "partial_solves": 12,
+                "components_resolved": 25, "components": 4,
+            },
+        )
+        report = render_report(tracer.events)
+        assert "tick profile @300.0s — 300 emulator tick(s)" in report
+        assert "solve" in report
+        assert "ms/tick" in report
+        assert "12 partial" in report
+        assert "25 component(s) re-solved of 4" in report
+
+    def test_last_profile_event_wins(self):
+        tracer = Tracer()
+        for time, ticks in ((10.0, 10), (20.0, 20)):
+            tracer.emit(
+                "profile.tick_phases", time,
+                ticks=ticks, phase_seconds={"solve": 0.1}, solver={},
+            )
+        report = render_report(tracer.events)
+        assert "tick profile @20.0s — 20 emulator tick(s)" in report
+        assert "@10.0s" not in report
+
+    def test_no_profile_event_no_section(self):
+        assert "tick profile" not in render_report(sample_trace())

@@ -22,6 +22,7 @@ from repro.net.calibration import (
     calibration_points,
     crossover_flows,
     fit_power_law,
+    incremental_points,
 )
 
 BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_emulator.json"
@@ -70,10 +71,13 @@ def test_crossover_requires_indexed_to_grow_faster():
 
 
 def test_calibration_points_extracts_and_sorts_cases():
+    """Kernel points prefer ``solver_flows`` (largest-component size);
+    pre-decomposition payloads fall back to the instance flow count."""
     bench = {
         "cases": {
             "big": {
                 "flows": 200,
+                "solver_flows": 180,
                 "solve_ms": {"indexed": 4.0, "vectorized": 2.0},
             },
             "small": {
@@ -83,12 +87,49 @@ def test_calibration_points_extracts_and_sorts_cases():
             "partial": {"flows": 50, "solve_ms": {"indexed": 1.0}},
         }
     }
-    assert calibration_points(bench) == ((10, 0.1, 0.4), (200, 4.0, 2.0))
+    assert calibration_points(bench) == ((10, 0.1, 0.4), (180, 4.0, 2.0))
+
+
+def test_incremental_points_extracts_whole_instance_cases():
+    bench = {
+        "cases": {
+            "big": {
+                "flows": 200,
+                "solver_flows": 180,
+                "solve_ms": {"incremental": 1.0, "full": 4.0},
+            },
+            "small": {
+                "flows": 10,
+                "solve_ms": {"incremental": 0.2, "full": 0.1},
+            },
+            "partial": {"flows": 50, "solve_ms": {"full": 1.0}},
+        }
+    }
+    # x is the *instance* flow count — the incremental guard fires
+    # before decomposition ever happens.
+    assert incremental_points(bench) == ((10, 0.2, 0.1), (200, 1.0, 4.0))
 
 
 def test_calibrate_needs_two_complete_cases():
     with pytest.raises(ValueError):
         calibrate({"cases": {}})
+    # Kernel points alone are not enough: the incremental tier must be
+    # measured too.
+    with pytest.raises(ValueError):
+        calibrate(
+            {
+                "cases": {
+                    "a": {
+                        "flows": 10,
+                        "solve_ms": {"indexed": 0.1, "vectorized": 0.4},
+                    },
+                    "b": {
+                        "flows": 200,
+                        "solve_ms": {"indexed": 4.0, "vectorized": 2.0},
+                    },
+                }
+            }
+        )
 
 
 def test_checked_in_bench_has_calibration_points():
@@ -106,6 +147,13 @@ def test_baked_constants_match_fresh_fit_of_tracked_data():
     assert calibration.min_flows == fairness._VECTOR_MIN_FLOWS
     assert calibration.min_entries == fairness._VECTOR_MIN_ENTRIES
     assert calibration.min_entries == ENTRIES_PER_FLOW * calibration.min_flows
-    # Sanity on the fit shape the cutover rests on: the indexed solver
-    # grows superlinearly, the vectorized one sublinearly.
+    assert (
+        calibration.incremental_min_flows
+        == fairness._INCREMENTAL_MIN_FLOWS
+    )
+    # Sanity on the fit shapes the cutovers rest on: the indexed kernel
+    # grows superlinearly, the vectorized one sublinearly; the full
+    # solve keeps growing with instance size while the incremental
+    # re-solve's dirty-component cost stays ~flat.
     assert calibration.indexed.exponent > calibration.vectorized.exponent
+    assert calibration.full.exponent > calibration.incremental.exponent
