@@ -1,22 +1,29 @@
-"""Perf harness for the parallel sweep runner.
+"""Perf harness for the parallel sweep runner and its queue fabric.
 
-Measures, on the fig14cd threshold grid (the PR's headline workload):
+Measures two workloads:
 
-* cold serial wall time (``jobs=1``, empty cache),
-* cold parallel wall time (``jobs=N``, empty cache) and the speedup,
-* warm replay wall time (everything served from the cache).
+* the fig14cd threshold grid (the original headline workload): cold
+  serial wall time, cold parallel wall time per backend, and a warm
+  cached replay;
+* a heterogeneous busy-cell grid — a few ~100x-outlier heavy cells in
+  a sea of tiny ones — where the queue backend's cost-ordered chunks,
+  warm workers, and work-stealing are the difference between a
+  straggler-bound sweep and a balanced one.
 
-All three runs must merge to byte-identical canonical JSON — the
-speedup claim is only valid while parallelism stays invisible in the
-data.  Results are written to ``BENCH_sweeps.json`` at the repo root
-(merged per case, like ``BENCH_emulator.json``) so the trajectory is
-tracked across PRs.
+Every run must merge to byte-identical canonical JSON — a speedup
+claim is only valid while scheduling stays invisible in the data.
+Results are written to ``BENCH_sweeps.json`` at the repo root (merged
+per case, like ``BENCH_emulator.json``) so the trajectory is tracked
+across PRs; each case records its ``backend`` and ``chunking`` so the
+series stays interpretable as defaults evolve.
 
-The >=3x-at-4-workers acceptance target needs real cores; that
-assertion lives in the slow test and is skipped below 4 CPUs.  The
-smoke test records the measured numbers on whatever CI machine runs it
-and asserts only the machine-independent contracts: byte-identity and
-a cheap cached replay.
+The >=3x-at-4-workers and beats-pool acceptance targets need real
+cores; those assertions live in the slow tests and are skipped below 4
+CPUs.  The smoke tests record the measured numbers on whatever CI
+machine runs them and assert only machine-independent contracts
+(byte-identity, cheap cached replay), plus a loose
+no-catastrophic-regression speedup floor that is gated on
+``cpu_count >= 2``.
 """
 
 import json
@@ -27,11 +34,13 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.thresholds import fig14cd_sweep_spec
-from repro.runner import ResultCache, run_sweep
+from repro.runner import CellSpec, ResultCache, SweepSpec, run_sweep
 
 from _reporting import fmt, run_once, save_table
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweeps.json"
+
+BUSY = "repro.runner.testing:busy_cell"
 
 SMOKE_GRID = dict(
     heuristics=("longest_path",),
@@ -46,14 +55,69 @@ FULL_GRID = dict(
     duration_s=200.0,
 )
 
+#: Heterogeneous busy-cell grids: (heavy count, heavy weight, tiny
+#: count, tiny weight).  Weights are busy_cell spin units (~0.4 ms per
+#: unit); heavy cells run ~1000x longer than tiny ones, so a scheduler
+#: that strands a heavy cell on a late worker serializes the tail.
+HETERO_SMOKE = dict(n_heavy=2, heavy_weight=400.0, n_tiny=48,
+                    tiny_weight=4.0)
+HETERO_FULL = dict(n_heavy=4, heavy_weight=12000.0, n_tiny=512,
+                   tiny_weight=12.0)
 
-def timed_sweep(spec, *, jobs, cache):
+
+def hetero_spec(
+    *, n_heavy: int, heavy_weight: float, n_tiny: int, tiny_weight: float
+) -> SweepSpec:
+    cells = [
+        CellSpec(
+            fn=BUSY,
+            kwargs={"weight": heavy_weight, "seed": index},
+            label=f"heavy{index}",
+        )
+        for index in range(n_heavy)
+    ]
+    cells.extend(
+        CellSpec(
+            fn=BUSY,
+            kwargs={"weight": tiny_weight, "seed": 1000 + index},
+            label=f"tiny{index}",
+        )
+        for index in range(n_tiny)
+    )
+    return SweepSpec(
+        name="hetero", cells=tuple(cells), modules=("repro.runner",)
+    )
+
+
+def timed_sweep(spec, *, jobs, cache, backend="pool", chunk_size=None,
+                steal=True):
     begin = time.perf_counter()
-    outcome = run_sweep(spec, jobs=jobs, cache=cache)
+    outcome = run_sweep(
+        spec,
+        jobs=jobs,
+        cache=cache,
+        backend=backend,
+        chunk_size=chunk_size,
+        steal=steal,
+    )
     return outcome, time.perf_counter() - begin
 
 
-def run_case(grid: dict, *, jobs: int, tmp: Path) -> dict:
+def chunking_fields(stats) -> dict:
+    """The scheduling shape behind a measured number (queue backend)."""
+    return {
+        "chunks": stats.chunks,
+        "chunk_size": stats.chunk_size,
+        "steals": stats.steals,
+        "max_queue_depth": stats.max_queue_depth,
+        "worker_crashes": stats.worker_crashes,
+    }
+
+
+def run_case(
+    grid: dict, *, jobs: int, tmp: Path, backend: str = "pool",
+    chunk_size=None,
+) -> dict:
     """Cold serial, cold parallel, warm replay over one fig14cd grid."""
     spec = fig14cd_sweep_spec(**grid)
 
@@ -61,7 +125,10 @@ def run_case(grid: dict, *, jobs: int, tmp: Path) -> dict:
     serial, serial_s = timed_sweep(spec, jobs=1, cache=serial_cache)
 
     parallel_cache = ResultCache(tmp / "parallel")
-    parallel, parallel_s = timed_sweep(spec, jobs=jobs, cache=parallel_cache)
+    parallel, parallel_s = timed_sweep(
+        spec, jobs=jobs, cache=parallel_cache, backend=backend,
+        chunk_size=chunk_size,
+    )
 
     replay, replay_s = timed_sweep(spec, jobs=1, cache=serial_cache)
 
@@ -73,6 +140,10 @@ def run_case(grid: dict, *, jobs: int, tmp: Path) -> dict:
     return {
         "cells": serial.stats.cells,
         "duration_s": grid["duration_s"],
+        "backend": backend,
+        "chunking": (
+            chunking_fields(parallel.stats) if backend == "queue" else None
+        ),
         "serial_s": serial_s,
         "parallel_s": parallel_s,
         "parallel_jobs": jobs,
@@ -85,13 +156,69 @@ def run_case(grid: dict, *, jobs: int, tmp: Path) -> dict:
     }
 
 
+def run_hetero_case(params: dict, *, jobs: int) -> dict:
+    """Serial vs pool vs queue+stealing on the heterogeneous grid.
+
+    Dispatch overhead is charged per cell as (worker lifetime − worker
+    busy time) / cells: everything a worker spent *not* executing cells
+    — waiting on chunk dispatch, message round-trips, steal handling —
+    relative to the mean cell runtime.
+    """
+    spec = hetero_spec(**params)
+
+    serial, serial_s = timed_sweep(spec, jobs=1, cache=None)
+    pool, pool_s = timed_sweep(spec, jobs=jobs, cache=None)
+    queue, queue_s = timed_sweep(
+        spec, jobs=jobs, cache=None, backend="queue"
+    )
+
+    golden = serial.to_canonical_json()
+    assert pool.to_canonical_json() == golden
+    assert queue.to_canonical_json() == golden
+
+    reports = queue.stats.workers
+    alive_s = sum(report.alive_s for report in reports)
+    busy_s = sum(report.busy_s for report in reports)
+    cells = queue.stats.cells
+    mean_cell_s = busy_s / cells if cells else 0.0
+    dispatch_overhead_s = (alive_s - busy_s) / cells if cells else 0.0
+
+    return {
+        "cells": cells,
+        "backend": "queue",
+        "chunking": chunking_fields(queue.stats),
+        "serial_s": serial_s,
+        "pool_s": pool_s,
+        "queue_s": queue_s,
+        "parallel_jobs": jobs,
+        "speedup": serial_s / queue_s if queue_s > 0 else float("inf"),
+        "pool_speedup": serial_s / pool_s if pool_s > 0 else float("inf"),
+        "queue_vs_pool": pool_s / queue_s if queue_s > 0 else float("inf"),
+        "mean_cell_s": mean_cell_s,
+        "dispatch_overhead_s": dispatch_overhead_s,
+        "dispatch_overhead_fraction": (
+            dispatch_overhead_s / mean_cell_s if mean_cell_s > 0 else 0.0
+        ),
+        "worker_busy_fractions": [
+            round(
+                report.busy_s / report.alive_s if report.alive_s > 0 else 0.0,
+                4,
+            )
+            for report in sorted(reports, key=lambda r: r.worker)
+        ],
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
 def persist(results: dict[str, dict]) -> None:
     """Merge measured cases into BENCH_sweeps.json (smoke runs refresh
     their case without clobbering the full grid's)."""
     payload = {
-        "schema": 1,
+        "schema": 2,
         "unit_note": "speedup = cold serial wall / cold parallel wall; "
-        "replay_fraction = warm cached wall / cold serial wall",
+        "replay_fraction = warm cached wall / cold serial wall; "
+        "dispatch_overhead_fraction = per-cell non-execution worker time "
+        "/ mean cell runtime (queue backend)",
         "cases": {},
     }
     if BENCH_PATH.exists():
@@ -108,49 +235,85 @@ def persist(results: dict[str, dict]) -> None:
 def report(results: dict[str, dict], name: str) -> None:
     save_table(
         name,
-        ["case", "cells", "jobs", "serial_s", "parallel_s", "speedup",
-         "replay_s", "replay_frac"],
+        ["case", "cells", "backend", "jobs", "serial_s", "parallel_s",
+         "speedup", "replay_frac"],
         [
             [
                 case,
                 row["cells"],
+                row["backend"],
                 row["parallel_jobs"],
                 fmt(row["serial_s"], 2),
-                fmt(row["parallel_s"], 2),
+                fmt(row.get("parallel_s", row.get("queue_s", 0.0)), 2),
                 fmt(row["speedup"], 2),
-                fmt(row["replay_s"], 3),
-                fmt(row["replay_fraction"], 3),
+                fmt(row.get("replay_fraction", 0.0), 3),
             ]
             for case, row in results.items()
         ],
-        note="fig14cd threshold grid through the sweep runner; all three "
-        "runs byte-identical by assertion; BENCH_sweeps.json tracks the "
-        "series",
+        note="sweep workloads through the runner; every backend "
+        "byte-identical to serial by assertion; BENCH_sweeps.json tracks "
+        "the series",
     )
 
 
 @pytest.mark.benchmark(group="perf_sweeps")
 def test_perf_sweeps_smoke(benchmark, tmp_path):
-    """CI fast path: determinism + cheap replay on a trimmed grid.
+    """CI fast path: determinism + cheap replay on a trimmed grid, for
+    both backends.
 
-    The speedup is recorded for the tracked series but not asserted —
-    CI boxes may have a single core, where pool overhead eats the win.
+    Speedups are recorded for the tracked series; the only speedup
+    *assertion* is a loose no-catastrophic-regression floor, gated on
+    ``cpu_count >= 2`` — single-core boxes pay pure scheduling overhead
+    with nothing to parallelize.
     """
+    jobs = min(2, os.cpu_count() or 1)
     results = run_once(
         benchmark,
         lambda: {
-            "fig14cd_smoke": run_case(
-                SMOKE_GRID, jobs=min(2, os.cpu_count() or 1), tmp=tmp_path
-            )
+            "fig14cd_smoke": run_case(SMOKE_GRID, jobs=jobs, tmp=tmp_path),
+            "fig14cd_smoke_queue": run_case(
+                SMOKE_GRID,
+                jobs=jobs,
+                tmp=tmp_path / "queue",
+                backend="queue",
+                chunk_size=2,
+            ),
         },
     )
     persist(results)
     report(results, "perf_sweeps_smoke")
-    row = results["fig14cd_smoke"]
-    assert row["cells"] == 6
-    # Cached replay skips every simulation: it must come in well under
-    # the cold run even with cache-probe and JSON-decode overhead.
-    assert row["replay_fraction"] < 0.5
+    for case in ("fig14cd_smoke", "fig14cd_smoke_queue"):
+        row = results[case]
+        assert row["cells"] == 6
+        # Cached replay skips every simulation: it must come in well
+        # under the cold run even with cache-probe overhead.
+        assert row["replay_fraction"] < 0.5
+        if row["cpu_count"] >= 2:
+            assert row["speedup"] > 0.5, (
+                f"{case}: {row['backend']} backend at {row['parallel_jobs']}"
+                f" workers ran {1 / row['speedup']:.1f}x slower than serial"
+            )
+    assert results["fig14cd_smoke_queue"]["chunking"]["chunks"] >= 1
+
+
+@pytest.mark.benchmark(group="perf_sweeps")
+def test_perf_sweeps_hetero_smoke(benchmark):
+    """Heterogeneous-grid fast path: record the queue-vs-pool numbers
+    and pin byte-identity; the >=3x and beats-pool targets live in the
+    slow, core-gated test."""
+    results = run_once(
+        benchmark,
+        lambda: {
+            "hetero_smoke": run_hetero_case(
+                HETERO_SMOKE, jobs=min(2, os.cpu_count() or 1)
+            )
+        },
+    )
+    persist(results)
+    report(results, "perf_sweeps_hetero_smoke")
+    row = results["hetero_smoke"]
+    assert row["cells"] == 50
+    assert row["chunking"]["worker_crashes"] == 0
 
 
 @pytest.mark.slow
@@ -160,7 +323,7 @@ def test_perf_sweeps_smoke(benchmark, tmp_path):
     reason="the 3x-at-4-workers target needs >=4 physical cores",
 )
 def test_perf_sweeps_full_grid(benchmark, tmp_path):
-    """The acceptance target: the full fig14cd grid at 4 workers runs
+    """The fig14cd acceptance target: the full grid at 4 workers runs
     >=3x faster than serial, and a cached replay is near-instant."""
     results = run_once(
         benchmark,
@@ -175,4 +338,35 @@ def test_perf_sweeps_full_grid(benchmark, tmp_path):
     )
     assert row["replay_fraction"] < 0.05, (
         f"cached replay took {row['replay_fraction']:.1%} of the cold run"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="perf_sweeps")
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="the queue-backend targets need >=4 physical cores",
+)
+def test_perf_sweeps_hetero_full(benchmark):
+    """The fabric acceptance targets on the heterogeneous grid at 4
+    workers: queue+stealing >=3x over serial, strictly faster than the
+    pool backend, and per-cell dispatch overhead under 10% of the mean
+    cell runtime."""
+    results = run_once(
+        benchmark,
+        lambda: {"hetero_full": run_hetero_case(HETERO_FULL, jobs=4)},
+    )
+    persist(results)
+    report(results, "perf_sweeps_hetero_full")
+    row = results["hetero_full"]
+    assert row["speedup"] >= 3.0, (
+        f"queue speedup {row['speedup']:.2f}x < 3x over serial"
+    )
+    assert row["queue_vs_pool"] > 1.0, (
+        f"queue ({row['queue_s']:.2f}s) did not beat pool "
+        f"({row['pool_s']:.2f}s) on the heterogeneous grid"
+    )
+    assert row["dispatch_overhead_fraction"] < 0.10, (
+        f"dispatch overhead {row['dispatch_overhead_fraction']:.1%} of "
+        f"mean cell runtime (>= 10%)"
     )

@@ -177,6 +177,9 @@ def fig14cd_threshold_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     tracer: Optional[TracerBase] = None,
+    backend: str = "pool",
+    chunk_size: Optional[int] = None,
+    steal: bool = True,
 ) -> list[ThresholdCell]:
     """Figs 14c/d: latency across the (threshold × headroom) grid,
     fixed request arrivals at 50 RPS.
@@ -193,7 +196,15 @@ def fig14cd_threshold_sweep(
         duration_s=duration_s,
         seed=seed,
     )
-    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results
+    return run_sweep(
+        spec,
+        jobs=jobs,
+        cache=cache,
+        tracer=tracer,
+        backend=backend,
+        chunk_size=chunk_size,
+        steal=steal,
+    ).results
 
 
 def fig16_sweep_spec(
@@ -232,6 +243,9 @@ def fig16_exponential_thresholds(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     tracer: Optional[TracerBase] = None,
+    backend: str = "pool",
+    chunk_size: Optional[int] = None,
+    steal: bool = True,
 ) -> list[ThresholdCell]:
     """Fig 16: the same sweep under exponential (Poisson) arrivals,
     longest-path scheduling, headroom fixed at 20 %."""
@@ -242,7 +256,15 @@ def fig16_exponential_thresholds(
         duration_s=duration_s,
         seed=seed,
     )
-    return run_sweep(spec, jobs=jobs, cache=cache, tracer=tracer).results
+    return run_sweep(
+        spec,
+        jobs=jobs,
+        cache=cache,
+        tracer=tracer,
+        backend=backend,
+        chunk_size=chunk_size,
+        steal=steal,
+    ).results
 
 
 def best_threshold(cells: list[ThresholdCell]) -> float:

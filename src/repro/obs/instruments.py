@@ -188,6 +188,13 @@ class StandardInstruments:
       ``bass_sweep_cell_seconds`` timing fresh executions and the
       ``bass_sweep_cells_per_second`` / ``bass_sweep_cache_hit_rate``
       gauges carrying each sweep's closing summary;
+    * ``bass_sweep_queue_depth`` / ``bass_sweep_steals_total`` /
+      ``bass_sweep_worker_crashes_total`` — the queue backend's peak
+      undispatched-chunk depth, chunk steals, and worker deaths
+      survived, with ``bass_sweep_worker_busy_fraction{worker}`` and
+      ``bass_sweep_worker_cache_hit_rate{worker}`` carrying each warm
+      worker's utilization and shared-store hit rate (from the
+      ``sweep.fabric`` event);
     * ``bass_tick_count`` / ``bass_tick_phase_seconds{phase}`` /
       ``bass_solver_*`` — the emulator's tick count, cumulative wall
       time per tick phase, and incremental-solver counters, from the
@@ -279,6 +286,24 @@ class StandardInstruments:
             registry.counter("bass_sweep_cells_total", status="failed").inc(
                 time
             )
+        elif kind == "sweep.fabric":
+            registry.gauge("bass_sweep_queue_depth").set(
+                time, float(event.data.get("max_queue_depth", 0))
+            )
+            registry.counter("bass_sweep_steals_total").inc(
+                time, float(event.data.get("steals", 0))
+            )
+            registry.counter("bass_sweep_worker_crashes_total").inc(
+                time, float(event.data.get("worker_crashes", 0))
+            )
+            for report in event.data.get("workers") or ():
+                worker = str(report.get("worker", "?"))
+                registry.gauge(
+                    "bass_sweep_worker_busy_fraction", worker=worker
+                ).set(time, float(report.get("busy_fraction", 0.0)))
+                registry.gauge(
+                    "bass_sweep_worker_cache_hit_rate", worker=worker
+                ).set(time, float(report.get("cache_hit_rate", 0.0)))
         elif kind == "sweep.done":
             registry.gauge("bass_sweep_cells_per_second").set(
                 time, event.data.get("cells_per_second", 0.0)

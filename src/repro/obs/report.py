@@ -518,4 +518,48 @@ def render_report(events: Sequence[TraceEvent]) -> str:
                 f"{solver.get('components_resolved', 0)} component(s) "
                 f"re-solved of {solver.get('components', 0)}"
             )
+
+    sweep_dones = [e for e in events if e.kind == "sweep.done"]
+    if sweep_dones:
+        fabrics = {
+            e.data.get("sweep"): e
+            for e in events
+            if e.kind == "sweep.fabric"
+        }
+        lines.append("")
+        lines.append(f"sweeps: {len(sweep_dones)}")
+        for done in sweep_dones:
+            name = done.data.get("sweep", "-")
+            lines.append(
+                f"  {name}: backend={done.data.get('backend', 'pool')} "
+                f"{done.data.get('cells', 0)} cell(s) — "
+                f"{done.data.get('executed', 0)} executed, "
+                f"{done.data.get('cached', 0)} cached, "
+                f"{done.data.get('failed', 0)} failed; "
+                f"{done.data.get('cells_per_second', 0.0):.2f} cells/s, "
+                f"cache hit rate "
+                f"{done.data.get('cache_hit_rate', 0.0):.0%}"
+            )
+            fabric = fabrics.get(name)
+            if fabric is None:
+                continue
+            lines.append(
+                f"    fabric: {fabric.data.get('jobs', 0)} worker(s), "
+                f"{fabric.data.get('chunks', 0)} chunk(s) of "
+                f"{fabric.data.get('chunk_size', 0)}, "
+                f"{fabric.data.get('steals', 0)} steal(s), "
+                f"peak queue depth "
+                f"{fabric.data.get('max_queue_depth', 0)}, "
+                f"{fabric.data.get('worker_crashes', 0)} crash(es) "
+                f"survived"
+            )
+            for report in fabric.data.get("workers") or ():
+                crashed = " !! crashed" if report.get("crashed") else ""
+                lines.append(
+                    f"    worker {report.get('worker', '?')}: "
+                    f"{report.get('cells', 0)} cell(s), "
+                    f"busy {report.get('busy_fraction', 0.0):.0%}, "
+                    f"cache hit rate "
+                    f"{report.get('cache_hit_rate', 0.0):.0%}{crashed}"
+                )
     return "\n".join(lines)

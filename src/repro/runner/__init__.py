@@ -11,10 +11,13 @@ so parallel output is byte-identical to serial output.
 See DESIGN.md, "Parallel sweeps".
 """
 
-from .cache import MISS, ResultCache, cell_key, open_cache
+from .cache import MISS, CacheEntryWarning, ResultCache, cell_key, open_cache
 from .codec import canonical_json, decode_value, encode_value
+from .costmodel import cell_cost, order_longest_first
 from .fingerprint import code_fingerprint
+from .queue import FabricStats, WorkerReport, default_chunk_size, plan_chunks
 from .sweep import (
+    BACKENDS,
     CellFailure,
     CellSpec,
     SweepCellError,
@@ -26,20 +29,28 @@ from .sweep import (
 )
 
 __all__ = [
+    "BACKENDS",
     "MISS",
+    "CacheEntryWarning",
     "CellFailure",
     "CellSpec",
+    "FabricStats",
     "ResultCache",
     "SweepCellError",
     "SweepOutcome",
     "SweepSpec",
     "SweepStats",
+    "WorkerReport",
     "canonical_json",
+    "cell_cost",
     "cell_key",
     "code_fingerprint",
     "decode_value",
+    "default_chunk_size",
     "derive_cell_seed",
     "encode_value",
     "open_cache",
+    "order_longest_first",
+    "plan_chunks",
     "run_sweep",
 ]

@@ -11,6 +11,18 @@ Entries are single JSON files under ``<root>/<key[:2]>/<key>.json``.
 Writes go to a temporary file in the same directory and are published
 with an atomic ``os.replace``, so a crash mid-write can never leave a
 partial entry behind: readers see either nothing or a complete record.
+The temp name embeds the writer's pid plus a per-process counter, so
+any number of workers racing to publish the *same* key is safe: each
+replace is atomic, last writer wins, and both wrote identical bytes
+(the key is content-addressed).  Corrupt or truncated entries — an
+external writer interrupted without the atomic rename, disk trouble —
+degrade to a miss with a :class:`CacheEntryWarning` so the sweep
+re-runs the cell instead of crashing.
+
+A read-through in-memory layer sits in front of the disk: each
+:class:`ResultCache` instance (one per warm worker) keeps the values
+it has seen, so repeated probes of a hot key skip the disk after the
+first hit.
 
 Example:
     >>> key_a = cell_key("m:f", {"a": 1, "b": {"x": 1, "y": 2}}, "fp")
@@ -22,8 +34,10 @@ Example:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
@@ -33,6 +47,10 @@ from .codec import canonical_json, decode_value, encode_value
 MISS: Any = object()
 
 _SCHEMA = 1
+
+
+class CacheEntryWarning(UserWarning):
+    """An on-disk cache entry was unreadable and is treated as a miss."""
 
 
 def cell_key(
@@ -61,6 +79,8 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self._memory: dict[str, Any] = {}
+        self._temp_serial = itertools.count()
 
     def path_for(self, key: str) -> Path:
         """Where ``key``'s entry lives (two-level fan-out by prefix)."""
@@ -69,10 +89,15 @@ class ResultCache:
     def get(self, key: str) -> Any:
         """The decoded result for ``key``, or :data:`MISS`.
 
-        Unreadable or corrupt entries (interrupted external writers,
-        schema drift) count as misses rather than failures — the cell
-        simply re-runs and rewrites the entry.
+        Served from the in-memory read-through layer when this instance
+        has already seen the key.  Unreadable or corrupt entries
+        (interrupted external writers, schema drift) count as misses —
+        with a :class:`CacheEntryWarning` — rather than failures: the
+        cell simply re-runs and rewrites the entry.
         """
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
         path = self.path_for(key)
         try:
             record = json.loads(path.read_text())
@@ -81,10 +106,18 @@ class ResultCache:
             self.misses += 1
             return MISS
         except (json.JSONDecodeError, KeyError, TypeError, AttributeError,
-                ModuleNotFoundError, OSError):
+                ModuleNotFoundError, OSError) as error:
+            warnings.warn(
+                f"unreadable sweep-cache entry {path} "
+                f"({type(error).__name__}: {error}); treating as a miss "
+                f"and re-running the cell",
+                CacheEntryWarning,
+                stacklevel=2,
+            )
             self.misses += 1
             return MISS
         self.hits += 1
+        self._memory[key] = result
         return result
 
     def put(
@@ -97,9 +130,11 @@ class ResultCache:
     ) -> Path:
         """Persist ``result`` under ``key`` atomically.
 
-        The record is written to a same-directory temp file and
-        published with ``os.replace``; on any failure the temp file is
-        removed, so no partial entry ever becomes visible.
+        The record is written to a same-directory temp file (named
+        uniquely per writer process *and* per write, so concurrent
+        same-key writers never collide on the temp path) and published
+        with ``os.replace``; on any failure the temp file is removed,
+        so no partial entry ever becomes visible.
         """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -110,13 +145,16 @@ class ResultCache:
             "label": label,
             "result": encode_value(result),
         }
-        temp = path.parent / f".{key}.tmp-{os.getpid()}"
+        temp = path.parent / (
+            f".{key}.tmp-{os.getpid()}-{next(self._temp_serial)}"
+        )
         try:
             temp.write_text(json.dumps(record, sort_keys=True) + "\n")
             os.replace(temp, path)
         except BaseException:
             temp.unlink(missing_ok=True)
             raise
+        self._memory[key] = result
         return path
 
     def __len__(self) -> int:

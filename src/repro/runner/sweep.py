@@ -2,12 +2,15 @@
 
 A sweep is an ordered tuple of cells — independent (configuration,
 seed) evaluations of a module-level function.  :func:`run_sweep` fans
-pending cells out over a ``ProcessPoolExecutor`` (or runs them inline
-for ``jobs=1``), consults a content-addressed
-:class:`~repro.runner.cache.ResultCache` before executing anything, and
-merges results back **in canonical cell order** — so the output of
-``jobs=N`` is byte-identical to ``jobs=1``, which is byte-identical to
-the serial loops the sweep replaced.  The golden tests pin exactly
+pending cells out over one of two backends — a flat
+``ProcessPoolExecutor`` (``backend="pool"``, one task per cell) or the
+work-stealing chunk queue over persistent warm workers
+(``backend="queue"``, see :mod:`repro.runner.queue`) — consults a
+content-addressed :class:`~repro.runner.cache.ResultCache` before
+executing anything, and merges results back **in canonical cell
+order** — so the output of any ``(backend, jobs, chunk_size)``
+combination is byte-identical to ``jobs=1``, which is byte-identical
+to the serial loops the sweep replaced.  The golden tests pin exactly
 that.
 
 Determinism contract:
@@ -30,18 +33,22 @@ every cell has settled.
 from __future__ import annotations
 
 import hashlib
-import multiprocessing
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from ..obs.trace import TracerBase, resolve_tracer
 from .cache import MISS, ResultCache, cell_key
 from .codec import canonical_json
+from .costmodel import cell_cost
 from .fingerprint import code_fingerprint
+from .queue import FabricStats, PendingCell, execute_queue, mp_context
 from .worker import execute_cell, initialize_worker
+
+#: Valid ``run_sweep`` backends.
+BACKENDS = ("pool", "queue")
 
 
 def derive_cell_seed(base_seed: int, *parts: Any) -> int:
@@ -145,7 +152,15 @@ class SweepCellError(RuntimeError):
 
 @dataclass(frozen=True)
 class SweepStats:
-    """Execution accounting for one :func:`run_sweep` call."""
+    """Execution accounting for one :func:`run_sweep` call.
+
+    The fabric fields (``chunks`` onward) are zero except under
+    ``backend="queue"``, where they carry the work-stealing queue's
+    accounting: chunk layout, steals, peak queue depth, worker crashes
+    survived, and the per-worker
+    :class:`~repro.runner.queue.WorkerReport` tuple (busy fractions and
+    cache hit rates feed the ``bass_sweep_worker_*`` instruments).
+    """
 
     cells: int
     executed: int
@@ -154,6 +169,13 @@ class SweepStats:
     wall_s: float
     cells_per_second: float
     cache_hit_rate: float
+    backend: str = "pool"
+    chunks: int = 0
+    chunk_size: int = 0
+    steals: int = 0
+    max_queue_depth: int = 0
+    worker_crashes: int = 0
+    workers: tuple = ()
 
 
 @dataclass
@@ -175,14 +197,6 @@ class SweepOutcome:
         return canonical_json(self.results)
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """``fork`` where available (fast, inherits sys.path), else spawn."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-
-
 def run_sweep(
     spec: SweepSpec,
     *,
@@ -190,21 +204,42 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     tracer: Optional[TracerBase] = None,
     strict: bool = True,
+    backend: str = "pool",
+    chunk_size: Optional[int] = None,
+    steal: bool = True,
+    on_result: Optional[Callable[[int, Any], None]] = None,
 ) -> SweepOutcome:
     """Execute ``spec``'s cells, in parallel and through the cache.
 
     Args:
         spec: the sweep definition (canonical cell order).
-        jobs: worker processes; ``1`` runs inline in this process.
+        jobs: worker processes; ``1`` runs inline in this process
+            (pool backend) or through one warm worker (queue backend).
             Outputs are byte-identical either way.
-        cache: completed-cell store; None disables memoization.  Only
-            the parent process writes entries, after a cell succeeds.
+        cache: completed-cell store; None disables memoization.  The
+            pool backend writes entries from the parent after a cell
+            succeeds; the queue backend's workers read through and
+            write back the shared store directly, so one worker's cold
+            result is every concurrent reader's warm hit.
         tracer: flight recorder for ``sweep.start`` / ``cell.done`` /
-            ``cell.cached`` / ``sweep.done`` events (defaults to the
-            process default tracer).  Event times are wall-clock
-            seconds since the sweep started.
+            ``cell.cached`` / ``sweep.fabric`` / ``sweep.done`` events
+            (defaults to the process default tracer).  Event times are
+            wall-clock seconds since the sweep started.
         strict: raise :class:`SweepCellError` after the sweep drains if
             any cell failed; ``False`` returns the partial outcome.
+        backend: ``"pool"`` (flat per-cell ``ProcessPoolExecutor``
+            fan-out) or ``"queue"`` (cost-ordered chunks over
+            persistent warm workers with work-stealing; see
+            :mod:`repro.runner.queue`).
+        chunk_size: queue backend: cells per dispatched chunk (default:
+            about four chunks per worker).  Pure scheduling — output
+            bytes do not depend on it.
+        steal: queue backend: split a busy worker's remaining chunk for
+            idle workers when the queue runs dry (on by default).
+        on_result: streaming reducer hook: called as ``on_result(index,
+            value)`` for each cell **in canonical order**, as soon as
+            the contiguous prefix through that cell has settled — no
+            end-of-sweep barrier.  Failed cells stream ``None``.
 
     Returns:
         :class:`SweepOutcome` with ``results[i]`` corresponding to
@@ -212,6 +247,10 @@ def run_sweep(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
     tracer = resolve_tracer(tracer)
     begin = time.perf_counter()
     total = len(spec.cells)
@@ -222,6 +261,7 @@ def run_sweep(
             sweep=spec.name,
             cells=total,
             jobs=jobs,
+            backend=backend,
             cache="on" if cache is not None else "off",
         )
 
@@ -231,6 +271,16 @@ def run_sweep(
     status: list[str] = ["pending"] * total
     durations = [0.0] * total
     failures: list[CellFailure] = []
+    streamed = 0
+
+    def stream_prefix() -> None:
+        """Feed ``on_result`` the settled canonical-order prefix."""
+        nonlocal streamed
+        if on_result is None:
+            return
+        while streamed < total and status[streamed] != "pending":
+            on_result(streamed, results[streamed])
+            streamed += 1
 
     pending: list[int] = []
     if cache is not None:
@@ -246,13 +296,21 @@ def run_sweep(
                 status[index] = "cached"
     else:
         pending = list(range(total))
+    stream_prefix()
 
-    def settle(index: int, ok: bool, payload: Any, duration: float) -> None:
+    def settle(
+        index: int,
+        ok: bool,
+        payload: Any,
+        duration: float,
+        *,
+        write_cache: bool = True,
+    ) -> None:
         durations[index] = duration
         if ok:
             results[index] = payload
             status[index] = "executed"
-            if cache is not None:
+            if cache is not None and write_cache:
                 cache.put(
                     keys[index],
                     payload,
@@ -264,11 +322,48 @@ def run_sweep(
             failures.append(
                 CellFailure(index, spec.cells[index].label, payload)
             )
+        stream_prefix()
 
-    if len(pending) > 1 and jobs > 1:
+    fabric: Optional[FabricStats] = None
+    if len(pending) > 1 and backend == "queue":
+        pending_cells = [
+            PendingCell(
+                index=index,
+                fn=spec.cells[index].fn,
+                kwargs=resolved[index],
+                key=keys[index],
+                cost=cell_cost(spec.cells[index].fn, resolved[index]),
+            )
+            for index in pending
+        ]
+
+        def queue_settle(
+            index: int, ok: bool, payload: Any, duration: float,
+            from_cache: bool,
+        ) -> None:
+            if ok and from_cache:
+                # A worker found the entry in the shared store (written
+                # by a sibling worker or a concurrent sweep).
+                durations[index] = duration
+                results[index] = payload
+                status[index] = "cached"
+                stream_prefix()
+            else:
+                # Workers already wrote their own cache entries.
+                settle(index, ok, payload, duration, write_cache=False)
+
+        fabric = execute_queue(
+            pending_cells,
+            jobs=jobs,
+            chunk_size=chunk_size,
+            steal=steal,
+            cache_root=str(cache.root) if cache is not None else None,
+            settle=queue_settle,
+        )
+    elif len(pending) > 1 and jobs > 1:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(pending)),
-            mp_context=_pool_context(),
+            mp_context=mp_context(),
             initializer=initialize_worker,
             initargs=(list(sys.path),),
         ) as pool:
@@ -317,7 +412,46 @@ def run_sweep(
         wall_s=wall_s,
         cells_per_second=(total / wall_s if wall_s > 0 else 0.0),
         cache_hit_rate=(cached / total if total else 0.0),
+        backend=backend,
+        chunks=fabric.chunks if fabric is not None else 0,
+        chunk_size=fabric.chunk_size if fabric is not None else 0,
+        steals=fabric.steals if fabric is not None else 0,
+        max_queue_depth=(
+            fabric.max_queue_depth if fabric is not None else 0
+        ),
+        worker_crashes=(
+            fabric.worker_crashes if fabric is not None else 0
+        ),
+        workers=fabric.workers if fabric is not None else (),
     )
+    if tracer.enabled and fabric is not None:
+        busy = fabric.worker_busy_fractions()
+        tracer.emit(
+            "sweep.fabric",
+            wall_s,
+            sweep=spec.name,
+            backend=backend,
+            jobs=jobs,
+            chunks=fabric.chunks,
+            chunk_size=fabric.chunk_size,
+            steals=fabric.steals,
+            max_queue_depth=fabric.max_queue_depth,
+            worker_crashes=fabric.worker_crashes,
+            workers=[
+                {
+                    "worker": report.worker,
+                    "busy_s": report.busy_s,
+                    "alive_s": report.alive_s,
+                    "busy_fraction": busy[report.worker],
+                    "cells": report.cells,
+                    "cache_hits": report.cache_hits,
+                    "cache_misses": report.cache_misses,
+                    "cache_hit_rate": report.cache_hit_rate,
+                    "crashed": report.crashed,
+                }
+                for report in fabric.workers
+            ],
+        )
     if tracer.enabled:
         tracer.emit(
             "sweep.done",
@@ -327,6 +461,7 @@ def run_sweep(
             executed=executed,
             cached=cached,
             failed=len(failures),
+            backend=backend,
             cells_per_second=stats.cells_per_second,
             cache_hit_rate=stats.cache_hit_rate,
         )

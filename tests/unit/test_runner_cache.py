@@ -3,13 +3,23 @@
 The satellite contract pinned here: cache keys are insensitive to dict
 insertion order in config values (two sweeps that build the same
 configuration in different key orders must share entries), entries are
-published atomically, and corruption degrades to a re-run, never a
-crash.
+published atomically — including when several worker processes race to
+publish the *same* key — and corruption degrades to a warned re-run,
+never a crash.
 """
 
 import json
 
-from repro.runner import MISS, ResultCache, cell_key, code_fingerprint
+import pytest
+
+from repro.runner import (
+    MISS,
+    CacheEntryWarning,
+    ResultCache,
+    cell_key,
+    code_fingerprint,
+)
+from repro.runner.queue import mp_context
 from repro.runner.testing import SquareResult
 
 
@@ -74,7 +84,8 @@ def test_corrupt_entry_counts_as_miss_and_is_rewritable(tmp_path):
     path = cache.path_for(key)
     path.parent.mkdir(parents=True)
     path.write_text("{ truncated")
-    assert cache.get(key) is MISS
+    with pytest.warns(CacheEntryWarning):
+        assert cache.get(key) is MISS
     cache.put(key, SquareResult(1, 1, 0))
     assert cache.get(key) == SquareResult(1, 1, 0)
 
@@ -103,6 +114,83 @@ def test_failed_put_removes_temp_file(tmp_path):
     assert cache.get(key) is MISS
     leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
     assert leftovers == []
+
+
+def test_corrupt_entry_warns_before_degrading_to_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {"v": 9}, "fp")
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text('{"schema": 1, "truncated')
+    with pytest.warns(CacheEntryWarning, match="treating as a miss"):
+        assert cache.get(key) is MISS
+    assert cache.misses == 1
+
+
+def test_memory_layer_serves_repeat_probes_without_disk(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = cell_key("m:f", {"v": 4}, "fp")
+    cache.put(key, SquareResult(4, 16, 0))
+    assert cache.get(key) == SquareResult(4, 16, 0)
+    # Remove the backing file: the read-through layer still serves it.
+    cache.path_for(key).unlink()
+    assert cache.get(key) == SquareResult(4, 16, 0)
+    # A fresh instance (no memory) sees the truth on disk.
+    assert ResultCache(tmp_path).get(key) is MISS
+
+
+def _racing_writer(root, key, value, barrier):
+    cache = ResultCache(root)
+    barrier.wait()  # line all writers up on the same instant
+    for _ in range(20):
+        cache.put(key, SquareResult(value, value * value, 0))
+
+
+def test_concurrent_same_key_writers_leave_one_complete_entry(tmp_path):
+    """Several processes hammering the same key concurrently must end
+    with exactly one complete entry and zero torn or temp files."""
+    key = cell_key("repro.runner.testing:square_cell", {"value": 5}, "fp")
+    context = mp_context()
+    barrier = context.Barrier(3)
+    writers = [
+        context.Process(
+            target=_racing_writer, args=(str(tmp_path), key, 5, barrier)
+        )
+        for _ in range(3)
+    ]
+    for writer in writers:
+        writer.start()
+    for writer in writers:
+        writer.join(timeout=30)
+        assert writer.exitcode == 0
+    files = [p for p in tmp_path.rglob("*") if p.is_file()]
+    assert [p.name for p in files] == [f"{key}.json"]  # no temp droppings
+    record = json.loads(files[0].read_text())  # complete, parseable JSON
+    assert record["key"] == key
+    assert ResultCache(tmp_path).get(key) == SquareResult(5, 25, 0)
+
+
+def test_reader_racing_writers_never_sees_a_torn_entry(tmp_path):
+    """get() during a write storm returns MISS or the full value —
+    never a corruption warning from a half-written file."""
+    key = cell_key("m:f", {"v": 7}, "fp")
+    context = mp_context()
+    barrier = context.Barrier(2)
+    writer = context.Process(
+        target=_racing_writer, args=(str(tmp_path), key, 7, barrier)
+    )
+    writer.start()
+    barrier.wait()
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CacheEntryWarning)
+        for _ in range(50):
+            fresh = ResultCache(tmp_path)  # no memory layer: disk truth
+            value = fresh.get(key)
+            assert value is MISS or value == SquareResult(7, 49, 0)
+    writer.join(timeout=30)
+    assert writer.exitcode == 0
 
 
 def test_len_counts_complete_entries(tmp_path):

@@ -3,9 +3,11 @@
 Each test replays the *pre-refactor serial loop* by hand — the exact
 loop body the experiment modules ran before the sweep runner existed —
 and requires the runner's output to be byte-identical (canonical JSON)
-at ``jobs=1``, at ``jobs=2``, and through a cold+warm cache cycle.
-This is the acceptance contract of the refactor: parallelism and
-memoization are pure wall-clock optimizations, invisible in the data.
+at ``jobs=1``, at ``jobs=2``, through a cold+warm cache cycle, and
+through the queue backend across a jobs × chunk-size grid.  This is
+the acceptance contract of the refactor: parallelism, chunk layout,
+work-stealing, and memoization are pure wall-clock optimizations,
+invisible in the data.
 
 Horizons are trimmed (tens of simulated seconds) so the whole module
 stays in the tier-1 fast path; the full-scale grids go through the
@@ -53,7 +55,8 @@ FIG16_GRID = dict(
 
 
 def assert_runner_matches_serial(spec, serial_results, tmp_path):
-    """jobs=1 == jobs=2 == serial loop == cached replay, byte-for-byte."""
+    """Serial loop == every (backend, jobs, chunk_size) == cached
+    replay, byte-for-byte."""
     golden = canonical_json(serial_results)
     serial_outcome = run_sweep(spec, jobs=1)
     assert serial_outcome.to_canonical_json() == golden
@@ -67,6 +70,22 @@ def assert_runner_matches_serial(spec, serial_results, tmp_path):
     warm = run_sweep(spec, jobs=1, cache=cache)
     assert warm.stats.cache_hit_rate == 1.0
     assert warm.to_canonical_json() == golden
+
+    # Queue backend: cold through the work-stealing fabric once, then
+    # warm replays across the jobs × chunk-size grid — every variant
+    # must reproduce the exact golden bytes.
+    queue_cold = run_sweep(spec, jobs=4, backend="queue", chunk_size=1)
+    assert queue_cold.to_canonical_json() == golden
+    for jobs, chunk_size in ((1, 2), (2, 1), (4, 2)):
+        replay = run_sweep(
+            spec,
+            jobs=jobs,
+            backend="queue",
+            chunk_size=chunk_size,
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        assert replay.stats.cache_hit_rate == 1.0
+        assert replay.to_canonical_json() == golden
 
 
 def test_fig14cd_sweep_matches_pre_refactor_serial_loop(tmp_path):

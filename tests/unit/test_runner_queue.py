@@ -1,0 +1,353 @@
+"""The work-stealing sweep fabric (queue backend).
+
+The tentpole contract pinned here: for any ``jobs`` and ``chunk_size``
+— and with stealing on or off — the queue backend's merged output is
+byte-identical to the serial loop; a worker that *dies* mid-chunk is
+survived (its chunk re-queued and every cell reduced exactly once,
+with a poison cell eventually surfacing as a failure instead of
+crash-looping the fabric); and duplicate-key cells share the workers'
+content-addressed store.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.runner import (
+    CellSpec,
+    ResultCache,
+    SweepCellError,
+    SweepSpec,
+    cell_cost,
+    default_chunk_size,
+    order_longest_first,
+    plan_chunks,
+    run_sweep,
+)
+from repro.runner.costmodel import BASE_COST_S
+from repro.runner.queue import PendingCell
+
+SQUARE = "repro.runner.testing:square_cell"
+CRASH = "repro.runner.testing:crashing_cell"
+BUSY = "repro.runner.testing:busy_cell"
+KILLER = "repro.runner.testing:worker_killing_cell"
+
+
+def square_spec(values=(0, 1, 2, 3, 4, 5, 6, 7), **spec_kwargs):
+    return SweepSpec(
+        name="squares",
+        cells=tuple(
+            CellSpec(fn=SQUARE, kwargs={"value": v}, label=f"v{v}")
+            for v in values
+        ),
+        modules=("repro.runner",),
+        **spec_kwargs,
+    )
+
+
+# -- cost model and chunk planning (pure, no processes) -----------------------
+
+
+def test_cell_cost_explicit_weight_dominates():
+    light = cell_cost(BUSY, {"weight": 0.01})
+    heavy = cell_cost(BUSY, {"weight": 5.0})
+    assert heavy > light
+    assert heavy == pytest.approx(BASE_COST_S + 5.0)
+
+
+def test_cell_cost_scales_with_horizon_and_grid_size():
+    short = cell_cost("m:f", {"duration_s": 60.0})
+    long = cell_cost("m:f", {"duration_s": 600.0})
+    assert long > short
+    small = cell_cost("m:f", {"duration_s": 600.0, "nodes": 5, "flows": 10})
+    big = cell_cost("m:f", {"duration_s": 600.0, "nodes": 50, "flows": 100})
+    assert big > small
+
+
+def test_order_longest_first_breaks_ties_by_index():
+    costs = {0: 1.0, 1: 3.0, 2: 1.0, 3: 3.0}
+    assert order_longest_first(costs, [0, 1, 2, 3]) == [1, 3, 0, 2]
+
+
+def test_default_chunk_size_targets_four_chunks_per_worker():
+    assert default_chunk_size(32, 4) == 2
+    assert default_chunk_size(3, 4) == 1
+    assert default_chunk_size(100, 1) == 25
+
+
+def _pending(costs):
+    return [
+        PendingCell(index=i, fn="m:f", kwargs={}, key=None, cost=cost)
+        for i, cost in enumerate(costs)
+    ]
+
+
+def test_plan_chunks_is_cost_ordered_and_deterministic():
+    pending = _pending([1.0, 9.0, 2.0, 8.0, 3.0])
+    chunks = plan_chunks(pending, 2)
+    layout = [[cell.index for cell in chunk] for chunk in chunks]
+    assert layout == [[1, 3], [4, 2], [0]]  # longest-expected first
+    assert layout == [
+        [cell.index for cell in chunk] for chunk in plan_chunks(pending, 2)
+    ]
+
+
+def test_plan_chunks_rejects_nonpositive_size():
+    with pytest.raises(ValueError, match="chunk_size"):
+        plan_chunks(_pending([1.0]), 0)
+
+
+# -- determinism: queue output is byte-identical to serial --------------------
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("chunk_size", [1, 3])
+def test_queue_backend_matches_serial_bytes(jobs, chunk_size):
+    golden = run_sweep(square_spec()).to_canonical_json()
+    queued = run_sweep(
+        square_spec(), jobs=jobs, backend="queue", chunk_size=chunk_size
+    )
+    assert queued.to_canonical_json() == golden
+    assert queued.stats.backend == "queue"
+    assert queued.stats.chunks >= 1
+
+
+@pytest.mark.parametrize("steal", [True, False])
+def test_steal_setting_never_changes_output_bytes(steal):
+    values = tuple(range(10))
+    golden = run_sweep(square_spec(values=values)).to_canonical_json()
+    queued = run_sweep(
+        square_spec(values=values),
+        jobs=3,
+        backend="queue",
+        chunk_size=4,
+        steal=steal,
+    )
+    assert queued.to_canonical_json() == golden
+    if not steal:
+        assert queued.stats.steals == 0
+
+
+def test_heterogeneous_costs_still_merge_canonically():
+    """Cost-ordered scheduling reorders *execution*, never output."""
+    weights = (0.01, 2.0, 0.02, 1.0, 0.03, 0.5)
+    spec = SweepSpec(
+        name="busy",
+        cells=tuple(
+            CellSpec(fn=BUSY, kwargs={"weight": w, "seed": i})
+            for i, w in enumerate(weights)
+        ),
+        modules=("repro.runner",),
+    )
+    golden = run_sweep(spec).to_canonical_json()
+    queued = run_sweep(spec, jobs=2, backend="queue", chunk_size=2)
+    assert queued.to_canonical_json() == golden
+
+
+def test_unknown_backend_is_rejected():
+    with pytest.raises(ValueError, match="backend"):
+        run_sweep(square_spec(), backend="carrier-pigeon")
+
+
+# -- streaming reducer --------------------------------------------------------
+
+
+def test_on_result_streams_in_canonical_order():
+    seen = []
+    outcome = run_sweep(
+        square_spec(),
+        jobs=3,
+        backend="queue",
+        chunk_size=2,
+        on_result=lambda index, value: seen.append((index, value.squared)),
+    )
+    assert [index for index, _ in seen] == list(range(8))
+    assert [sq for _, sq in seen] == [r.squared for r in outcome.results]
+
+
+def test_on_result_streams_none_for_failed_cells():
+    spec = SweepSpec(
+        name="mixed",
+        cells=(
+            CellSpec(fn=SQUARE, kwargs={"value": 1}),
+            CellSpec(fn=CRASH, kwargs={"value": 2}),
+            CellSpec(fn=SQUARE, kwargs={"value": 3}),
+        ),
+        modules=("repro.runner",),
+    )
+    seen = []
+    run_sweep(
+        spec,
+        jobs=2,
+        backend="queue",
+        strict=False,
+        on_result=lambda index, value: seen.append((index, value)),
+    )
+    assert [index for index, _ in seen] == [0, 1, 2]
+    assert seen[1][1] is None
+
+
+# -- exception parity ---------------------------------------------------------
+
+
+def test_queue_backend_surfaces_original_tracebacks():
+    spec = SweepSpec(
+        name="crashy",
+        cells=(
+            CellSpec(fn=SQUARE, kwargs={"value": 1}, label="ok"),
+            CellSpec(fn=CRASH, kwargs={"value": 2}, label="boom"),
+        ),
+        modules=("repro.runner",),
+    )
+    with pytest.raises(SweepCellError) as excinfo:
+        run_sweep(spec, jobs=2, backend="queue", chunk_size=1)
+    message = str(excinfo.value)
+    assert "ValueError: boom on 2" in message
+    assert excinfo.value.failures[0].label == "boom"
+
+
+# -- worker-crash recovery ----------------------------------------------------
+
+
+def test_transient_worker_death_requeues_and_reduces_exactly_once(tmp_path):
+    """Kill a worker mid-chunk: the chunk is re-queued, every cell
+    appears exactly once in the merged output, and the fabric records
+    the death."""
+    marker = str(tmp_path / "died-once")
+    cells = [
+        CellSpec(fn=SQUARE, kwargs={"value": v}, label=f"v{v}")
+        for v in range(6)
+    ]
+    cells[2] = CellSpec(
+        fn=KILLER,
+        kwargs={"value": 9, "survive_marker": marker},
+        label="killer",
+    )
+    spec = SweepSpec(
+        name="transient", cells=tuple(cells), modules=("repro.runner",)
+    )
+    outcome = run_sweep(spec, jobs=2, backend="queue", chunk_size=3)
+    assert [r.squared for r in outcome.results] == [0, 1, 81, 9, 16, 25]
+    assert outcome.stats.failed == 0
+    assert outcome.stats.worker_crashes >= 1
+    assert os.path.exists(marker)
+
+
+def test_poison_cell_surfaces_as_failure_not_a_hang():
+    """A cell that kills every host it lands on must settle as a
+    failure with a traceback naming the dead worker — and every other
+    cell still completes."""
+    cells = [
+        CellSpec(fn=SQUARE, kwargs={"value": v}, label=f"v{v}")
+        for v in range(5)
+    ]
+    cells[1] = CellSpec(fn=KILLER, kwargs={"value": 7}, label="poison")
+    spec = SweepSpec(
+        name="poison", cells=tuple(cells), modules=("repro.runner",)
+    )
+    outcome = run_sweep(
+        spec, jobs=2, backend="queue", chunk_size=2, strict=False
+    )
+    assert outcome.stats.failed == 1
+    assert outcome.results[1] is None
+    healthy = [r for r in outcome.results if r is not None]
+    assert [r.squared for r in healthy] == [0, 4, 9, 16]
+    failure = outcome.failures[0]
+    assert failure.index == 1
+    assert failure.label == "poison"
+    assert "SweepWorkerCrash" in failure.traceback
+    assert "exitcode" in failure.traceback
+    assert outcome.stats.worker_crashes >= 2  # shared chunk + isolation
+
+
+def test_poison_cell_raises_in_strict_mode():
+    spec = SweepSpec(
+        name="poison-strict",
+        cells=(
+            CellSpec(fn=SQUARE, kwargs={"value": 1}),
+            CellSpec(fn=KILLER, kwargs={"value": 7}),
+        ),
+        modules=("repro.runner",),
+    )
+    with pytest.raises(SweepCellError, match="SweepWorkerCrash"):
+        run_sweep(spec, jobs=2, backend="queue", chunk_size=1)
+
+
+# -- shared content-addressed store -------------------------------------------
+
+
+def test_workers_share_the_cache_across_duplicate_keys(tmp_path):
+    """Identical cells resolve to one content address; whichever worker
+    computes it first warms every other worker's read."""
+    cache = ResultCache(tmp_path / "cache")
+    cells = tuple(
+        CellSpec(fn=SQUARE, kwargs={"value": 5}) for _ in range(6)
+    )
+    spec = SweepSpec(name="dup", cells=cells, modules=("repro.runner",))
+    outcome = run_sweep(
+        spec, jobs=2, backend="queue", chunk_size=1, cache=cache
+    )
+    assert [r.squared for r in outcome.results] == [25] * 6
+    # Six cells, one key: at most one execution per worker can race the
+    # first write; everything else must come off the shared store.
+    assert outcome.stats.cached >= 4
+    assert len(ResultCache(tmp_path / "cache")) == 1
+
+
+def test_queue_warm_cache_replay_is_byte_identical(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_sweep(
+        square_spec(), jobs=2, backend="queue", chunk_size=2, cache=cache
+    )
+    warm = run_sweep(
+        square_spec(),
+        jobs=2,
+        backend="queue",
+        chunk_size=3,
+        cache=ResultCache(tmp_path / "cache"),
+    )
+    assert warm.to_canonical_json() == cold.to_canonical_json()
+    assert warm.stats.executed == 0
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_fabric_trace_event_feeds_queue_instruments(tmp_path):
+    tracer = Tracer.with_instruments()
+    cache = ResultCache(tmp_path / "cache")
+    run_sweep(
+        square_spec(),
+        jobs=2,
+        backend="queue",
+        chunk_size=2,
+        cache=cache,
+        tracer=tracer,
+    )
+    fabric_events = [e for e in tracer.events if e.kind == "sweep.fabric"]
+    assert len(fabric_events) == 1
+    data = fabric_events[0].data
+    assert data["backend"] == "queue"
+    assert data["chunks"] >= 1
+    assert data["workers"]  # per-worker reports ride on the event
+
+    registry = tracer.instruments.registry
+    assert registry.gauge("bass_sweep_queue_depth").value >= 1
+    assert registry.counter("bass_sweep_steals_total").value >= 0
+    for report in data["workers"]:
+        worker = str(report["worker"])
+        busy = registry.gauge(
+            "bass_sweep_worker_busy_fraction", worker=worker
+        )
+        assert 0.0 <= busy.value <= 1.0
+        hit_rate = registry.gauge(
+            "bass_sweep_worker_cache_hit_rate", worker=worker
+        )
+        assert 0.0 <= hit_rate.value <= 1.0
+
+
+def test_pool_backend_emits_no_fabric_event():
+    tracer = Tracer.with_instruments()
+    run_sweep(square_spec(values=(1, 2)), tracer=tracer)
+    assert not [e for e in tracer.events if e.kind == "sweep.fabric"]
